@@ -1,0 +1,201 @@
+// Command specbench regenerates the paper's evaluation tables and figures
+// (§7) on the MiniC corpus and prints them as aligned text tables. Run with
+// -write to refresh EXPERIMENTS.md-style output on stdout for the repo docs.
+//
+// Usage:
+//
+//	specbench [-experiment all|fig2|table3|table4|table5|table6|table7|depth]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"specabsint/internal/experiments"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "which experiment to run: all, fig2, table3, table4, table5, table6, table7, depth, icache, geometry")
+	flag.Parse()
+	setup := experiments.PaperSetup()
+
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "specbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig2", func() error { return fig2(setup) })
+	run("table3", func() error {
+		return stats("Table 3 — execution time estimation: benchmark statistics", experiments.Table3())
+	})
+	run("table4", func() error {
+		return stats("Table 4 — side channel detection: benchmark statistics", experiments.Table4())
+	})
+	run("table5", func() error { return table5(setup) })
+	run("table6", func() error { return table6(setup) })
+	run("table7", func() error { return table7(setup) })
+	run("depth", func() error { return depth(setup) })
+	run("icache", func() error { return icache(setup) })
+	run("geometry", func() error { return geometry(setup) })
+}
+
+func fig2(setup experiments.Setup) error {
+	res, err := experiments.Fig2(setup)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 2/3 — motivating example (512-line cache, ph spans 510 lines)")
+	fmt.Printf("  abstract  non-speculative: ph[k] always-hit = %v (claims the hit)\n", res.NonSpecAlwaysHit)
+	fmt.Printf("  abstract  speculative:     ph[k] always-hit = %v (refuses the proof)\n", res.SpecAlwaysHit)
+	fmt.Printf("  concrete  non-speculative: %d misses + %d hit\n", res.NonSpecMisses, res.NonSpecHits)
+	fmt.Printf("  concrete  mis-speculated:  %d observable misses + %d wrong-path miss = %d total\n",
+		res.SpecMisses, res.SpecSpMisses, res.SpecMisses+res.SpecSpMisses)
+	return nil
+}
+
+func stats(title string, rows []experiments.StatRow) error {
+	fmt.Println(title)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Name, r.Origin, r.Description, fmt.Sprint(r.LoC)})
+	}
+	fmt.Print(experiments.FormatTable([]string{"Name", "Source", "Description", "LoC"}, cells))
+	return nil
+}
+
+func table5(setup experiments.Setup) error {
+	rows, err := experiments.Table5(setup)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 5 — execution time estimation: non-speculative vs speculative")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			r.NonSpecTime.Round(time.Millisecond).String(), fmt.Sprint(r.NonSpecMiss),
+			r.SpecTime.Round(time.Millisecond).String(), fmt.Sprint(r.SpecMiss),
+			fmt.Sprint(r.SpecSpMiss), fmt.Sprint(r.Branches), fmt.Sprint(r.Iterations),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Name", "Time(ns)", "#Miss", "Time(sp)", "#Miss(sp)", "#SpMiss", "#Branch", "#Iteration"},
+		cells))
+	return nil
+}
+
+func table6(setup experiments.Setup) error {
+	rows, err := experiments.Table6(setup)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 6 — merging strategies: merge-at-rollback (Fig. 6d) vs just-in-time (Fig. 6c)")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			r.RollbackTime.Round(time.Millisecond).String(), fmt.Sprint(r.RollbackMiss),
+			fmt.Sprint(r.RollbackSpMiss), fmt.Sprint(r.RollbackIter),
+			r.JITTime.Round(time.Millisecond).String(), fmt.Sprint(r.JITMiss),
+			fmt.Sprint(r.JITSpMiss), fmt.Sprint(r.JITIter),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Name", "RB-Time", "RB-#Miss", "RB-#SpMiss", "RB-#Ite", "JIT-Time", "JIT-#Miss", "JIT-#SpMiss", "JIT-#Ite"},
+		cells))
+	return nil
+}
+
+func table7(setup experiments.Setup) error {
+	rows, err := experiments.Table7(setup)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 7 — side channel detection (buffer found by sweeping, as §7.3)")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name, fmt.Sprint(r.BufferBytes),
+			r.NonSpecTime.Round(time.Millisecond).String(), leak(r.NonSpecLeak),
+			r.SpecTime.Round(time.Millisecond).String(), leak(r.SpecLeak),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Name", "Buffer(B)", "NS-Time", "NS-Leak", "SP-Time", "SP-Leak"},
+		cells))
+	return nil
+}
+
+func depth(setup experiments.Setup) error {
+	rows, err := experiments.DepthAblation(setup)
+	if err != nil {
+		return err
+	}
+	fmt.Println("§6.2 ablation — dynamic speculation-depth bounding on/off")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			r.BoundedTime.Round(time.Millisecond).String(), fmt.Sprint(r.BoundedMiss), fmt.Sprint(r.BoundedIter),
+			r.UnboundedTime.Round(time.Millisecond).String(), fmt.Sprint(r.UnboundedMiss), fmt.Sprint(r.UnboundedIter),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Name", "On-Time", "On-#Miss", "On-#Ite", "Off-Time", "Off-#Miss", "Off-#Ite"},
+		cells))
+	return nil
+}
+
+func icache(setup experiments.Setup) error {
+	const lines = 16
+	rows, err := experiments.ICacheTable(lines, setup)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("§3.2 extension — instruction cache analysis (%d-line i-cache)\n", lines)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name, fmt.Sprint(r.Fetches), fmt.Sprint(r.NonSpecMiss),
+			fmt.Sprint(r.SpecMiss), fmt.Sprint(r.SpecSpMiss),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Name", "#Fetch", "NS-#Miss", "SP-#Miss", "#SpMiss"}, cells))
+	return nil
+}
+
+func geometry(setup experiments.Setup) error {
+	lineCounts := []int{8, 16, 32, 64, 128, 256, 512}
+	rows, err := experiments.GeometrySweep("g72", lineCounts, setup)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Cache-geometry sweep (g72): where speculation-awareness matters")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprint(r.Lines), fmt.Sprint(r.NonSpecMiss),
+			fmt.Sprint(r.SpecMiss), fmt.Sprint(r.SpecSpMiss),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Lines", "NS-#Miss", "SP-#Miss", "#SpMiss"}, cells))
+	return nil
+}
+
+func leak(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}

@@ -1,0 +1,70 @@
+// Quickstart: compile a small MiniC program, run the speculation-aware
+// cache analysis, and compare it against the classic baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specabsint"
+)
+
+const program = `
+int table[256];      // a 16-line lookup table
+int l1[16]; int l2[16];
+char p;              // branch condition living in memory
+secret int key;      // the index we must not leak
+
+int main() {
+	reg int i; reg int tmp;
+	tmp = 0;
+	// Warm the table: one access per cache line.
+	for (i = 0; i < 256; i += 16) { tmp = tmp + table[i]; }
+	// A data-dependent branch: the processor may speculate both ways.
+	if (p == 0) { tmp = tmp + l1[0]; }
+	else { tmp = tmp - l2[0]; }
+	// The secret-indexed access the analysis must judge.
+	return tmp + table[key & 255];
+}`
+
+func main() {
+	prog, err := specabsint.Compile(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small cache makes the effect visible: 19 lines fit the table (16),
+	// p, one branch arm, and the key cell exactly — the mis-speculated
+	// other arm is the 20th line that does not fit.
+	cfg := specabsint.DefaultConfig()
+	cfg.Cache = specabsint.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 19}
+
+	specRep, err := specabsint.Analyze(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Speculative = false
+	baseRep, err := specabsint.Analyze(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== classic (non-speculative) analysis ===")
+	fmt.Printf("  potential misses: %d of %d accesses\n", baseRep.Misses, len(baseRep.Accesses))
+	fmt.Printf("  leak detected:    %v\n", baseRep.LeakDetected)
+
+	fmt.Println("=== speculation-aware analysis ===")
+	fmt.Printf("  potential misses: %d of %d accesses (+ %d wrong-path)\n",
+		specRep.Misses, len(specRep.Accesses), specRep.SpecMisses)
+	fmt.Printf("  leak detected:    %v\n", specRep.LeakDetected)
+	for _, l := range specRep.Leaks {
+		fmt.Printf("    %s\n", l)
+	}
+
+	fmt.Println("\nThe classic analysis certifies table[key] as a guaranteed hit and the")
+	fmt.Println("program as constant-time; modeling mis-speculation shows both claims fail:")
+	fmt.Println("the wrong-path load of the other branch arm can evict a table line, and")
+	fmt.Println("whether it does depends on the secret key.")
+}

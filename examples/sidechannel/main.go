@@ -1,0 +1,66 @@
+// Sidechannel reproduces the paper's §2.2/§7.3 scenario: a crypto kernel
+// wrapped in the Fig. 10 client. The attacker controls the input buffer
+// size; at the right pressure, the cache leaks the secret S-box index —
+// but only a speculation-aware analysis can see it.
+//
+//	go run ./examples/sidechannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/core"
+	"specabsint/internal/experiments"
+	"specabsint/internal/sidechannel"
+)
+
+func main() {
+	setup := experiments.PaperSetup()
+	kernel, ok := bench.ByName("hash")
+	if !ok {
+		log.Fatal("hash benchmark missing")
+	}
+
+	fmt.Println("Kernel: hpn-ssh style hash with a secret-keyed S-box lookup,")
+	fmt.Println("wrapped in the Fig. 10 client (preload S-box, read attacker buffer,")
+	fmt.Println("branch, call kernel). Cache: 512 lines x 64 B, LRU.")
+	fmt.Println()
+
+	fmt.Printf("%-12s %-18s %-18s\n", "buffer", "classic analysis", "speculative analysis")
+	for _, bufBytes := range []int{0, 16 * 1024, 28 * 1024, 30592, 32 * 1024} {
+		src := bench.WithClient(kernel, bufBytes)
+		prog, err := bench.Compile(src, setup.MaxUnroll)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdicts := map[bool]string{}
+		for _, spec := range []bool{false, true} {
+			opts := core.DefaultOptions()
+			opts.Speculative = spec
+			rep, err := sidechannel.Analyze(prog, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			v := "constant-time"
+			if rep.LeakDetected() {
+				v = fmt.Sprintf("LEAK (%d sites)", len(rep.Leaks))
+			}
+			verdicts[spec] = v
+		}
+		fmt.Printf("%-12d %-18s %-18s\n", bufBytes, verdicts[false], verdicts[true])
+	}
+
+	fmt.Println()
+	size, found, err := experiments.FindLeakThreshold(kernel, setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if found {
+		fmt.Printf("Smallest leaking buffer (speculative analysis only): %d bytes.\n", size)
+	}
+	fmt.Println("At that pressure the S-box plus the attacker's buffer fill the cache")
+	fmt.Println("exactly; only the mis-speculated branch arm tips an S-box line out, and")
+	fmt.Println("whether the secret's line is the evicted one is visible in the timing.")
+}

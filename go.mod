@@ -1,0 +1,3 @@
+module specabsint
+
+go 1.22

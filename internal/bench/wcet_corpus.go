@@ -1,0 +1,494 @@
+package bench
+
+// WCETBenchmarks returns the execution-time estimation set (Table 3).
+// Each program is a self-contained MiniC main modeled on the cache-relevant
+// core of the original kernel.
+func WCETBenchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name:        "adpcm",
+			Origin:      "WCET@mdh",
+			Description: "motor control (ADPCM codec: quantizer + predictor)",
+			Kind:        WCET,
+			Code:        adpcmCode,
+		},
+		{
+			Name:        "susan",
+			Origin:      "MiBench",
+			Description: "image process algorithm (smoothing + corner response)",
+			Kind:        WCET,
+			Code:        susanCode,
+		},
+		{
+			Name:        "layer3",
+			Origin:      "MiBench",
+			Description: "mp3 audio lib (windowed MDCT + scalefactor selection)",
+			Kind:        WCET,
+			Code:        layer3Code,
+		},
+		{
+			Name:        "jcmarker",
+			Origin:      "MiBench",
+			Description: "jpeg compose algorithm (marker emission)",
+			Kind:        WCET,
+			Code:        jcmarkerCode,
+		},
+		{
+			Name:        "jdmarker",
+			Origin:      "MiBench",
+			Description: "jpeg decompose algorithm (marker parsing)",
+			Kind:        WCET,
+			Code:        jdmarkerCode,
+		},
+		{
+			Name:        "jcphuff",
+			Origin:      "MiBench",
+			Description: "jpeg Huffman entropy encoding routines",
+			Kind:        WCET,
+			Code:        jcphuffCode,
+		},
+		{
+			Name:        "gtk",
+			Origin:      "MiBench",
+			Description: "GTK plotting routines (scanline rasterizer)",
+			Kind:        WCET,
+			Code:        gtkCode,
+		},
+		{
+			Name:        "g72",
+			Origin:      "mediaBench",
+			Description: "routines for G.721 and G.723 conversions",
+			Kind:        WCET,
+			Code:        g72Code,
+		},
+		{
+			Name:        "vga",
+			Origin:      "mediaBench",
+			Description: "driver for Borland Graphics Interface (line drawing)",
+			Kind:        WCET,
+			Code:        vgaCode,
+		},
+		{
+			Name:        "stc",
+			Origin:      "mediaBench",
+			Description: "Epson Stylus-Color printer driver (dithering)",
+			Kind:        WCET,
+			Code:        stcCode,
+		},
+	}
+}
+
+const adpcmCode = `
+/* ADPCM motor-control kernel: abs, quantl lookup, predictor update. */
+int quant26bt_pos[31] = { 61,60,59,58,57,56,55,54,53,52,51,50,49,48,47,
+	46,45,44,43,42,41,40,39,38,37,36,35,34,33,32,32 };
+int quant26bt_neg[31] = { 63,62,31,30,29,28,27,26,25,24,23,22,21,20,19,
+	18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,4 };
+int decis_levl[30] = { 280,576,880,1200,1520,1864,2208,2584,2960,3376,
+	3784,4240,4696,5200,5712,6288,6864,7520,8184,8968,9752,10712,11664,
+	12896,14120,15840,17560,20456,23352,32767 };
+int dlt[7];
+int bpl[7];
+int samples[16];
+int my_abs(int x) { if (x < 0) { return -x; } return x; }
+int quantl(int el, int detl) {
+	int ril; int mil;
+	long wd; long decis;
+	wd = my_abs(el);
+	for (mil = 0; mil < 30; mil++) {
+		decis = (decis_levl[mil] * (long)detl) >> 15;
+		if (wd <= decis) break;
+	}
+	if (el >= 0) { ril = quant26bt_pos[mil]; }
+	else { ril = quant26bt_neg[mil]; }
+	return ril;
+}
+int upzero(int d) {
+	int wd2; int i;
+	wd2 = 0;
+	for (i = 0; i < 6; i++) {
+		if (d == 0) { bpl[i] = (bpl[i] * 255) >> 8; }
+		else {
+			if ((d ^ dlt[i]) >= 0) { bpl[i] = ((bpl[i] * 255) >> 8) + 128; }
+			else { bpl[i] = ((bpl[i] * 255) >> 8) - 128; }
+		}
+		wd2 = wd2 + bpl[i];
+	}
+	for (i = 5; i > 0; i--) { dlt[i] = dlt[i - 1]; }
+	dlt[0] = d;
+	return wd2;
+}
+int main(int el, int detl) {
+	int acc; int s;
+	acc = 0;
+	for (int n = 0; n < 16; n++) {
+		s = samples[n] + el;
+		acc = acc + quantl(s, detl | 1);
+		acc = acc + upzero(s - detl);
+	}
+	return acc;
+}
+`
+
+const susanCode = `
+/* SUSAN smoothing: brightness LUT plus a 2D mask pass with thresholds. */
+int bp[516];
+int img[144];
+int out[144];
+int setup_brightness_lut(int thresh) {
+	int k; int temp;
+	for (k = -256; k < 258; k++) {
+		temp = ((k * k) / (thresh * thresh)) * 100;
+		if (temp > 100) { temp = 100; }
+		bp[k + 256] = 100 - temp;
+	}
+	return bp[256];
+}
+int main(int thresh, int limit) {
+	int total; int center; int diff; int n;
+	if (thresh < 1) { thresh = 1; }
+	setup_brightness_lut(thresh + 6);
+	total = 0;
+	for (int y = 1; y < 11; y++) {
+		for (int x = 1; x < 11; x++) {
+			center = img[y * 12 + x];
+			n = 100;
+			diff = img[y * 12 + x - 1] - center;
+			if (diff < 0) { diff = -diff; }
+			n = n + bp[(diff + 256) & 511];
+			diff = img[y * 12 + x + 1] - center;
+			if (diff < 0) { diff = -diff; }
+			n = n + bp[(diff + 256) & 511];
+			diff = img[(y - 1) * 12 + x] - center;
+			if (diff < 0) { diff = -diff; }
+			n = n + bp[(diff + 256) & 511];
+			diff = img[(y + 1) * 12 + x] - center;
+			if (diff < 0) { diff = -diff; }
+			n = n + bp[(diff + 256) & 511];
+			if (n > limit) { out[y * 12 + x] = 255; }
+			else { out[y * 12 + x] = (n * center) >> 8; }
+			total = total + out[y * 12 + x];
+		}
+	}
+	return total;
+}
+`
+
+const layer3Code = `
+/* MP3 layer-3: windowing + MDCT butterflies + scalefactor band search. */
+int win[36] = { 2,5,9,14,20,27,35,44,54,65,77,90,104,119,135,152,170,189,
+	189,170,152,135,119,104,90,77,65,54,44,35,27,20,14,9,5,2 };
+int cos_t[18] = { 32767,32728,32610,32413,32138,31786,31357,30853,30274,
+	29622,28899,28106,27246,26320,25330,24279,23170,22006 };
+int sb_bounds[14] = { 4,8,12,16,20,24,30,36,44,52,62,74,90,110 };
+int granule[36];
+int spectrum[36];
+int scf[14];
+int mdct_block(int blocktype) {
+	int i; int k; long sum;
+	for (i = 0; i < 36; i++) {
+		if (blocktype == 2) { granule[i] = (granule[i] * win[i]) >> 9; }
+		else { granule[i] = (granule[i] * win[35 - i]) >> 9; }
+	}
+	for (i = 0; i < 18; i++) {
+		sum = 0;
+		for (k = 0; k < 18; k++) {
+			sum = sum + (long)granule[(i + k) % 36] * cos_t[k];
+		}
+		spectrum[i] = (int)(sum >> 15);
+		spectrum[35 - i] = -spectrum[i];
+	}
+	return spectrum[0];
+}
+int pick_scalefactors(int nlines) {
+	int band; int i; int maxv; int v;
+	band = 0;
+	for (i = 0; i < 14; i++) { scf[i] = 0; }
+	maxv = 0;
+	for (i = 0; i < 36; i++) {
+		if (band < 13 && i >= sb_bounds[band]) { band = band + 1; }
+		v = spectrum[i];
+		if (v < 0) { v = -v; }
+		if (v > scf[band]) { scf[band] = v; }
+		if (v > maxv) { maxv = v; }
+		if (i >= nlines) break;
+	}
+	return maxv;
+}
+int main(int blocktype, int nlines) {
+	int r;
+	r = mdct_block(blocktype & 3);
+	r = r + pick_scalefactors(nlines & 35);
+	return r;
+}
+`
+
+const jcmarkerCode = `
+/* JPEG marker emission: quantization tables scaled then written out. */
+int std_luminance[64] = { 16,11,10,16,24,40,51,61,12,12,14,19,26,58,60,55,
+	14,13,16,24,40,57,69,56,14,17,22,29,51,87,80,62,18,22,37,56,68,109,103,
+	77,24,35,55,64,81,104,113,92,49,64,78,87,103,121,120,101,72,92,95,98,
+	112,100,103,99 };
+int std_chrominance[64] = { 17,18,24,47,99,99,99,99,18,21,26,66,99,99,99,
+	99,24,26,56,99,99,99,99,99,47,66,99,99,99,99,99,99,99,99,99,99,99,99,
+	99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,99,
+	99,99,99 };
+int qtable[64];
+int outbuf[256];
+int outpos;
+void emit_byte(int v) {
+	outbuf[outpos & 255] = v & 255;
+	outpos = outpos + 1;
+}
+void emit_dqt(int which, int quality) {
+	int i; int t;
+	emit_byte(255); emit_byte(219);
+	for (i = 0; i < 64; i++) {
+		if (which == 0) { t = (std_luminance[i] * quality + 50) / 100; }
+		else { t = (std_chrominance[i] * quality + 50) / 100; }
+		if (t < 1) { t = 1; }
+		if (t > 255) { t = 255; }
+		qtable[i] = t;
+		emit_byte(t);
+	}
+}
+int main(int quality) {
+	int sum; int i;
+	if (quality < 1) { quality = 1; }
+	if (quality > 100) { quality = 100; }
+	emit_dqt(0, quality);
+	emit_dqt(1, quality);
+	sum = 0;
+	for (i = 0; i < 64; i++) { sum = sum + qtable[i]; }
+	return sum + outpos;
+}
+`
+
+const jdmarkerCode = `
+/* JPEG marker parsing: scan a buffer, dispatch on marker codes. */
+int stream[256];
+int qt[64];
+int ht_counts[16];
+int restart_interval;
+int width; int height;
+int read_word(int pos) {
+	return ((stream[pos & 255] & 255) << 8) | (stream[(pos + 1) & 255] & 255);
+}
+int parse(int len) {
+	int pos; int marker; int seg; int i; int seen;
+	pos = 0; seen = 0;
+	while (pos < len) {
+		if ((stream[pos & 255] & 255) != 255) { pos = pos + 1; continue; }
+		marker = stream[(pos + 1) & 255] & 255;
+		pos = pos + 2;
+		if (marker == 216) { seen = seen + 1; continue; }
+		seg = read_word(pos);
+		if (marker == 219) {
+			for (i = 0; i < 64; i++) { qt[i] = stream[(pos + 2 + i) & 255] & 255; }
+			seen = seen + 2;
+		} else if (marker == 196) {
+			for (i = 0; i < 16; i++) { ht_counts[i] = stream[(pos + 2 + i) & 255] & 255; }
+			seen = seen + 4;
+		} else if (marker == 221) {
+			restart_interval = read_word(pos + 2);
+			seen = seen + 8;
+		} else if (marker == 192) {
+			height = read_word(pos + 3);
+			width = read_word(pos + 5);
+			seen = seen + 16;
+		}
+		pos = pos + seg;
+		if (seg == 0) { pos = pos + 1; }
+	}
+	return seen;
+}
+int main(int len) {
+	if (len < 0) { len = 0; }
+	if (len > 255) { len = 255; }
+	return parse(len) + width + height + restart_interval;
+}
+`
+
+const jcphuffCode = `
+/* Progressive JPEG Huffman encoding: bit counting + code emission. */
+int bits[19];
+int freq[64];
+int codesize[64];
+int nbits_table[256] = { 0,1,2,2,3,3,3,3,4,4,4,4,4,4,4,4,
+	5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,6,6,6,6,6,6,6,6,6,6,6,6,6,6,6,6,
+	6,6,6,6,6,6,6,6,6,6,6,6,6,6,6,6,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,
+	7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,
+	7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,
+	8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,
+	8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,
+	8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,
+	8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8 };
+int count_bits(int v) {
+	if (v < 0) { v = -v; }
+	if (v > 255) { return 8 + nbits_table[(v >> 8) & 255]; }
+	return nbits_table[v & 255];
+}
+int main(int n) {
+	int i; int total; int size;
+	total = 0;
+	for (i = 0; i < 19; i++) { bits[i] = 0; }
+	for (i = 0; i < 64; i++) {
+		size = count_bits(freq[i] + n);
+		codesize[i] = size;
+		if (size > 18) { size = 18; }
+		bits[size] = bits[size] + 1;
+		total = total + size;
+	}
+	for (i = 18; i > 0; i--) {
+		while (bits[i] > 8) {
+			bits[i] = bits[i] - 2;
+			bits[i - 1] = bits[i - 1] + 1;
+			total = total - 1;
+		}
+	}
+	return total;
+}
+`
+
+const gtkCode = `
+/* Plot rasterizer: color LUT, clipping branches, scanline writes. */
+int palette[256];
+int canvas[1024];
+int clip_x0; int clip_x1; int clip_y0; int clip_y1;
+int plot_point(int x, int y, int c) {
+	if (x < clip_x0) { return 0; }
+	if (x > clip_x1) { return 0; }
+	if (y < clip_y0) { return 0; }
+	if (y > clip_y1) { return 0; }
+	canvas[((y & 31) * 32 + (x & 31)) & 1023] = palette[c & 255];
+	return 1;
+}
+int draw_series(int n, int scale) {
+	int i; int x; int y; int plotted;
+	plotted = 0;
+	for (i = 0; i < 64; i++) {
+		x = i >> 1;
+		y = ((i * scale) >> 4) & 63;
+		if (i >= n) break;
+		plotted = plotted + plot_point(x, y, i * 3);
+		if (y > 16) { plotted = plotted + plot_point(x, y - 16, i * 3 + 1); }
+	}
+	return plotted;
+}
+int main(int n, int scale) {
+	int i;
+	clip_x0 = 0; clip_x1 = 31; clip_y0 = 0; clip_y1 = 31;
+	for (i = 0; i < 256; i += 1) { palette[i] = i * 7 + 3; }
+	return draw_series(n & 63, scale | 1);
+}
+`
+
+const g72Code = `
+/* G.721/G.723: quan table search plus predictor coefficient update. */
+int qtab_721[7] = { -124, 80, 178, 246, 300, 349, 400 };
+int wtab[8] = { -12, 18, 41, 64, 112, 198, 355, 1122 };
+int ftab[8] = { 0, 0, 0, 1, 1, 1, 3, 7 };
+int a_coef[2];
+int b_coef[6];
+int dq_hist[6];
+int quan(int val) {
+	int i;
+	for (i = 0; i < 7; i++) {
+		if (val < qtab_721[i]) break;
+	}
+	return i;
+}
+int update(int dq, int y) {
+	int i; int code; int w;
+	code = quan(dq - y);
+	w = wtab[code & 7];
+	for (i = 0; i < 6; i++) {
+		if ((dq_hist[i] ^ dq) >= 0) { b_coef[i] = b_coef[i] + (w >> 3); }
+		else { b_coef[i] = b_coef[i] - (w >> 3); }
+	}
+	for (i = 5; i > 0; i--) { dq_hist[i] = dq_hist[i - 1]; }
+	dq_hist[0] = dq;
+	a_coef[0] = a_coef[0] + ftab[code & 7];
+	a_coef[1] = a_coef[1] - (a_coef[0] >> 4);
+	return code;
+}
+int main(int dq, int y) {
+	int acc; int n;
+	acc = 0;
+	for (n = 0; n < 16; n++) { acc = acc + update(dq + n * 17, y); }
+	return acc;
+}
+`
+
+const vgaCode = `
+/* BGI-style driver: Bresenham line into a banked framebuffer. */
+int fb[2048];
+int cur_color;
+int bank_switches;
+int put_pixel(int x, int y) {
+	int addr;
+	addr = y * 64 + x;
+	if (addr >= 1024) { bank_switches = bank_switches + 1; }
+	fb[addr & 2047] = cur_color;
+	return addr;
+}
+int line(int x0, int y0, int x1, int y1) {
+	int dx; int dy; int sx; int sy; int err; int e2; int steps;
+	dx = x1 - x0; if (dx < 0) { dx = -dx; }
+	dy = y1 - y0; if (dy < 0) { dy = -dy; }
+	if (x0 < x1) { sx = 1; } else { sx = -1; }
+	if (y0 < y1) { sy = 1; } else { sy = -1; }
+	err = dx - dy;
+	steps = 0;
+	while (steps < 96) {
+		put_pixel(x0 & 63, y0 & 31);
+		if (x0 == x1 && y0 == y1) break;
+		e2 = 2 * err;
+		if (e2 > -dy) { err = err - dy; x0 = x0 + sx; }
+		if (e2 < dx) { err = err + dx; y0 = y0 + sy; }
+		steps = steps + 1;
+	}
+	return steps;
+}
+int main(int x1, int y1) {
+	cur_color = 7;
+	return line(0, 0, x1 & 63, y1 & 31) + bank_switches;
+}
+`
+
+const stcCode = `
+/* Stylus-Color driver: error-diffusion dithering over one scanline. */
+int err_row[66];
+int line_in[64];
+int line_out[64];
+int density_tab[64] = { 0,4,8,12,16,20,24,28,32,36,40,44,48,52,56,60,
+	64,68,72,76,80,84,88,92,96,100,104,108,112,116,120,124,128,132,136,
+	140,144,148,152,156,160,164,168,172,176,180,184,188,192,196,200,204,
+	208,212,216,220,224,228,232,236,240,244,248,252 };
+int dither_line(int threshold) {
+	int x; int v; int e; int dots;
+	dots = 0;
+	for (x = 0; x < 64; x++) {
+		v = density_tab[line_in[x] & 63] + err_row[x + 1];
+		if (v > threshold) {
+			line_out[x] = 1;
+			e = v - 255;
+			dots = dots + 1;
+		} else {
+			line_out[x] = 0;
+			e = v;
+		}
+		err_row[x] = err_row[x] + ((e * 3) >> 4);
+		err_row[x + 1] = (e * 5) >> 4;
+		err_row[x + 2] = err_row[x + 2] + ((e * 7) >> 4);
+	}
+	return dots;
+}
+int main(int threshold, int seed) {
+	int i; int total;
+	for (i = 0; i < 64; i++) { line_in[i] = (seed + i * 37) & 63; }
+	total = 0;
+	for (i = 0; i < 4; i++) { total = total + dither_line((threshold + i) & 255); }
+	return total;
+}
+`

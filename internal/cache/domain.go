@@ -1,0 +1,386 @@
+package cache
+
+import (
+	"encoding/json"
+
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+)
+
+// Access describes the blocks a memory instruction may touch. Exactly one
+// of the Count candidate blocks [First, First+Count) is accessed; Count == 1
+// means the block is statically known.
+type Access struct {
+	Sym   ir.SymbolID
+	First layout.BlockID
+	Count int
+}
+
+// Exact reports whether the accessed block is statically known.
+func (a Access) Exact() bool { return a.Count == 1 }
+
+// Blocks returns the candidate block ids.
+func (a Access) Blocks() []layout.BlockID {
+	ids := make([]layout.BlockID, a.Count)
+	for i := range ids {
+		ids[i] = a.First + layout.BlockID(i)
+	}
+	return ids
+}
+
+// Classification of a single access against an abstract state.
+type Classification int
+
+// Access classifications.
+const (
+	Unknown Classification = iota
+	AlwaysHit
+	AlwaysMiss
+)
+
+// String names the classification.
+func (c Classification) String() string {
+	switch c {
+	case AlwaysHit:
+		return "always-hit"
+	case AlwaysMiss:
+		return "always-miss"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the classification as its name.
+func (c Classification) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// Domain bundles the layout with analysis options and implements the
+// abstract operations. All operations iterate the block universe with the
+// stride of the cache-set mapping, so only blocks competing for the accessed
+// set are touched.
+type Domain struct {
+	L *layout.Layout
+	// Refined enables the Appendix-B shadow-variable aging rule (NYoung);
+	// when false the classic Ferdinand aging rule is used. The shadow (may)
+	// component is maintained either way for Always-Miss classification.
+	Refined bool
+	// Persist switches the domain to the persistence ("first miss")
+	// analysis: ages become sticky maxima since first load, joins take the
+	// pointwise max, and AlwaysHit means "misses at most once in total".
+	// See persist.go.
+	Persist bool
+
+	// prefix is scratch for the NYoung cumulative histogram.
+	prefix []int
+}
+
+// NewDomain creates a refined domain over l.
+func NewDomain(l *layout.Layout) *Domain { return &Domain{L: l, Refined: true} }
+
+// NewState returns the empty-cache state sized for the domain's layout.
+func (d *Domain) NewState() *State { return NewState(d.L.NumBlocks) }
+
+func (d *Domain) assoc() int { return d.L.Config.Assoc }
+
+// setStart returns the first block id in the same cache set as b, so that
+// iterating with stride NumSets visits exactly b's competitors.
+func (d *Domain) setStart(b layout.BlockID) int { return d.L.SetOf(b) }
+
+// Transfer applies one memory access to the state in place.
+func (d *Domain) Transfer(s *State, acc Access) {
+	if s.IsBottom {
+		return
+	}
+	if d.Persist {
+		if acc.Exact() {
+			d.persistAccessExact(s, acc.First)
+		} else {
+			d.persistAccessRange(s, acc)
+		}
+		return
+	}
+	if acc.Exact() {
+		d.accessExact(s, acc.First)
+		return
+	}
+	d.accessRange(s, acc)
+}
+
+// shadowUpdateExact applies the Appendix-B may-aging for a known access:
+// blocks whose shadow age is <= the accessed block's old shadow age get one
+// step older. When the domain is refined, the histogram of the *new* shadow
+// ages is collected into d.prefix in the same pass (avoiding a second scan
+// for the NYoung rule).
+func (d *Domain) shadowUpdateExact(s *State, v layout.BlockID) {
+	assoc := uint16(d.assoc())
+	stride := d.L.Config.NumSets
+	oldShadowV := s.shadow[v] // 0 = infinity
+	counting := d.Refined
+	if counting {
+		if cap(d.prefix) < int(assoc)+2 {
+			d.prefix = make([]int, int(assoc)+2)
+		}
+		d.prefix = d.prefix[:int(assoc)+2]
+		for i := range d.prefix {
+			d.prefix[i] = 0
+		}
+	}
+	for i := d.setStart(v); i < len(s.shadow); i += stride {
+		a := s.shadow[i]
+		if a == 0 {
+			continue
+		}
+		if layout.BlockID(i) != v && (oldShadowV == 0 || a <= oldShadowV) {
+			if a+1 > assoc {
+				s.shadow[i] = 0
+				continue
+			}
+			a++
+			s.shadow[i] = a
+		}
+		if counting && layout.BlockID(i) != v {
+			d.prefix[a]++
+		}
+	}
+	s.shadow[v] = 1
+	if counting {
+		d.prefix[1]++ // v itself
+		for a := 2; a <= int(assoc)+1; a++ {
+			d.prefix[a] += d.prefix[a-1]
+		}
+	}
+}
+
+// buildPrefix fills d.prefix with the cumulative histogram of the (already
+// updated) shadow ages of one set: prefix[a] = number of shadow blocks in
+// the set with age <= a. It makes the NYoung rule O(1) per aged block.
+func (d *Domain) buildPrefix(s *State, set int) {
+	assoc := d.assoc()
+	if cap(d.prefix) < assoc+2 {
+		d.prefix = make([]int, assoc+2)
+	}
+	d.prefix = d.prefix[:assoc+2]
+	for i := range d.prefix {
+		d.prefix[i] = 0
+	}
+	stride := d.L.Config.NumSets
+	for i := set; i < len(s.shadow); i += stride {
+		if a := int(s.shadow[i]); a != 0 && a <= assoc {
+			d.prefix[a]++
+		}
+	}
+	for a := 1; a <= assoc+1; a++ {
+		d.prefix[a] += d.prefix[a-1]
+	}
+}
+
+// shouldAge implements the NYoung rule: u ages only if at least Age(u)
+// shadow blocks (other than u, in u's set) may be younger than or as young
+// as u. Shadow ages are the *new* ages, per Appendix B.
+func (d *Domain) shouldAge(s *State, u int, ageU int) bool {
+	idx := ageU
+	if idx >= len(d.prefix) {
+		idx = len(d.prefix) - 1
+	}
+	n := d.prefix[idx]
+	if a := int(s.shadow[u]); a != 0 && a <= ageU {
+		n-- // u itself does not count toward NYoung(u)
+	}
+	return n >= ageU
+}
+
+// accessExact implements the Fig. 4 / Appendix B transfer for a known block.
+func (d *Domain) accessExact(s *State, v layout.BlockID) {
+	assoc := d.assoc()
+	stride := d.L.Config.NumSets
+
+	d.shadowUpdateExact(s, v) // also builds d.prefix when refined
+
+	oldMustV := int(s.must[v]) // 0 = infinity
+	for i := d.setStart(v); i < len(s.must); i += stride {
+		a := int(s.must[i])
+		if a == 0 || layout.BlockID(i) == v {
+			continue
+		}
+		if oldMustV != 0 && a >= oldMustV {
+			continue
+		}
+		if d.Refined && !d.shouldAge(s, i, a) {
+			continue
+		}
+		if a+1 > assoc {
+			s.must[i] = 0
+		} else {
+			s.must[i] = uint16(a + 1)
+		}
+	}
+	if assoc >= 1 {
+		s.must[v] = 1
+	}
+}
+
+// accessRange handles an access whose target block is only known to lie in
+// [First, First+Count): exactly one of them is touched, so every block in an
+// affected set may age by one, and no block becomes must-cached; on the may
+// side every candidate may now be the youngest.
+func (d *Domain) accessRange(s *State, acc Access) {
+	assoc := d.assoc()
+	numSets := d.L.Config.NumSets
+	affected := make(map[int]bool, numSets)
+	for i := 0; i < acc.Count && len(affected) < numSets; i++ {
+		affected[d.L.SetOf(acc.First+layout.BlockID(i))] = true
+	}
+
+	// Shadow: candidates may be youngest now. Other blocks keep their
+	// lower bounds (the access may have gone elsewhere in their set).
+	for i := 0; i < acc.Count; i++ {
+		s.shadow[acc.First+layout.BlockID(i)] = 1
+	}
+
+	// Must: age every block in an affected set (the accessed block's age is
+	// unknown, so conservatively it evicts from the bottom of the set).
+	for set := range affected {
+		if d.Refined {
+			d.buildPrefix(s, set)
+		}
+		for i := set; i < len(s.must); i += numSets {
+			a := int(s.must[i])
+			if a == 0 {
+				continue
+			}
+			if d.Refined && !d.shouldAge(s, i, a) {
+				continue
+			}
+			if a+1 > assoc {
+				s.must[i] = 0
+			} else {
+				s.must[i] = uint16(a + 1)
+			}
+		}
+	}
+}
+
+// Join returns the least upper bound of a and b (Fig. 5 plus the Appendix-B
+// shadow rule): max of must ages (with 0 = infinity absorbing), min of
+// shadow ages (with 0 = infinity neutral).
+func (d *Domain) Join(a, b *State) *State {
+	if a.IsBottom {
+		return b.Clone()
+	}
+	if b.IsBottom {
+		return a.Clone()
+	}
+	out := a.Clone()
+	d.JoinInto(out, b)
+	return out
+}
+
+// JoinInto merges src into dst in place and reports whether dst changed.
+func (d *Domain) JoinInto(dst, src *State) bool {
+	if d.Persist {
+		return d.persistJoinInto(dst, src)
+	}
+	if src.IsBottom {
+		return false
+	}
+	if dst.IsBottom {
+		*dst = *src.Clone()
+		return true
+	}
+	changed := false
+	for i := range dst.must {
+		dm, sm := dst.must[i], src.must[i]
+		if dm != 0 && (sm == 0 || sm > dm) {
+			dst.must[i] = sm
+			changed = true
+		}
+		ds, ss := dst.shadow[i], src.shadow[i]
+		if ss != 0 && (ds == 0 || ss < ds) {
+			dst.shadow[i] = ss
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Leq reports whether a ⊑ b (b over-approximates a): b's must ages are no
+// younger than a's, and b's shadow ages no older than a's.
+func (d *Domain) Leq(a, b *State) bool {
+	if d.Persist {
+		return d.persistLeq(a, b)
+	}
+	if a.IsBottom {
+		return true
+	}
+	if b.IsBottom {
+		return false
+	}
+	for i := range a.must {
+		am, bm := a.must[i], b.must[i]
+		if bm != 0 && (am == 0 || am > bm) {
+			return false
+		}
+		as, bs := a.shadow[i], b.shadow[i]
+		if as != 0 && (bs == 0 || bs > as) {
+			return false
+		}
+	}
+	return true
+}
+
+// Widen accelerates convergence: any must age that grew since prev jumps to
+// evicted, and any shadow age that shrank (or appeared) jumps to 1. The
+// result over-approximates next, so widening preserves soundness (§6.3).
+func (d *Domain) Widen(prev, next *State) *State {
+	if d.Persist {
+		return d.persistWiden(prev, next)
+	}
+	if prev.IsBottom {
+		return next.Clone()
+	}
+	if next.IsBottom {
+		return prev.Clone()
+	}
+	out := next.Clone()
+	for i := range out.must {
+		nm, pm := next.must[i], prev.must[i]
+		if nm != 0 && (pm == 0 || nm > pm) {
+			out.must[i] = 0
+		}
+		ns, ps := next.shadow[i], prev.shadow[i]
+		if (ns != 0 && (ps == 0 || ns < ps)) || (ns == 0 && ps != 0) {
+			out.shadow[i] = 1
+		}
+	}
+	return out
+}
+
+// Classify judges one access against the state: it is an AlwaysHit when all
+// candidate blocks are must-cached, an AlwaysMiss when none may be cached,
+// and Unknown otherwise.
+func (d *Domain) Classify(s *State, acc Access) Classification {
+	if d.Persist {
+		return d.persistClassify(s, acc)
+	}
+	if s.IsBottom {
+		return Unknown
+	}
+	assoc := d.assoc()
+	allHit, allMiss := true, true
+	for i := 0; i < acc.Count; i++ {
+		b := acc.First + layout.BlockID(i)
+		if !s.MustHit(b, assoc) {
+			allHit = false
+		}
+		if s.MayBeCached(b) {
+			allMiss = false
+		}
+	}
+	switch {
+	case allHit:
+		return AlwaysHit
+	case allMiss:
+		return AlwaysMiss
+	}
+	return Unknown
+}

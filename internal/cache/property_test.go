@@ -1,0 +1,283 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+)
+
+// propLayout builds a layout over nBlocks scalar line-sized symbols with the
+// given set count.
+func propLayout(t *testing.T, nBlocks, numSets, assoc int) *layout.Layout {
+	t.Helper()
+	bd := ir.NewBuilder("prop")
+	for i := 0; i < nBlocks; i++ {
+		bd.AddSymbol(symName(i), 64, 1, false, nil)
+	}
+	entry := bd.NewBlock("entry")
+	bd.SetBlock(entry)
+	bd.Ret(ir.ConstVal(0))
+	prog, err := bd.Finish(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := layout.New(prog, layout.CacheConfig{LineSize: 64, NumSets: numSets, Assoc: assoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func symName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// concreteLRU is a reference LRU cache used as the ground truth: sets of
+// blocks ordered youngest first.
+type concreteLRU struct {
+	numSets, assoc int
+	sets           [][]layout.BlockID
+}
+
+func newConcreteLRU(numSets, assoc int) *concreteLRU {
+	return &concreteLRU{numSets: numSets, assoc: assoc, sets: make([][]layout.BlockID, numSets)}
+}
+
+func (c *concreteLRU) access(b layout.BlockID) {
+	set := int(b) % c.numSets
+	ways := c.sets[set]
+	for i, w := range ways {
+		if w == b {
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = b
+			return
+		}
+	}
+	if len(ways) < c.assoc {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = b
+	c.sets[set] = ways
+}
+
+func (c *concreteLRU) ageOf(b layout.BlockID) int {
+	set := int(b) % c.numSets
+	for i, w := range c.sets[set] {
+		if w == b {
+			return i + 1
+		}
+	}
+	return c.assoc + 1
+}
+
+// TestPropertyMustAgeIsUpperBound drives random access sequences through
+// both the abstract transfer and the concrete LRU and checks the paper's
+// central domain invariants:
+//
+//   - the must age is an upper bound on the concrete age (so a must-hit
+//     verdict implies a concrete hit), and
+//   - the shadow age is a lower bound (so "not may-cached" implies a
+//     concrete miss).
+func TestPropertyMustAgeIsUpperBound(t *testing.T) {
+	shapes := []struct{ blocks, sets, assoc int }{
+		{8, 1, 4},
+		{12, 2, 3},
+		{16, 4, 2},
+		{6, 1, 8},
+	}
+	for _, refined := range []bool{true, false} {
+		for _, sh := range shapes {
+			l := propLayout(t, sh.blocks, sh.sets, sh.assoc)
+			d := &Domain{L: l, Refined: refined}
+			for seed := int64(0); seed < 30; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				st := d.NewState()
+				conc := newConcreteLRU(sh.sets, sh.assoc)
+				for step := 0; step < 200; step++ {
+					b := layout.BlockID(rng.Intn(sh.blocks))
+					d.Transfer(st, Access{First: b, Count: 1})
+					conc.access(b)
+					for blk := 0; blk < sh.blocks; blk++ {
+						id := layout.BlockID(blk)
+						ca := conc.ageOf(id)
+						if ma, ok := st.Must(id); ok && ma < ca {
+							t.Fatalf("refined=%v shape=%+v seed=%d step=%d: block %d must age %d < concrete %d",
+								refined, sh, seed, step, blk, ma, ca)
+						}
+						if sa, ok := st.Shadow(id); ok {
+							if sa > ca && ca <= sh.assoc {
+								t.Fatalf("refined=%v shape=%+v seed=%d step=%d: block %d shadow age %d > concrete %d",
+									refined, sh, seed, step, blk, sa, ca)
+							}
+						} else if ca <= sh.assoc {
+							t.Fatalf("refined=%v shape=%+v seed=%d step=%d: block %d cached concretely (age %d) but not may-cached",
+								refined, sh, seed, step, blk, ca)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyJoinCoversBothPaths models two divergent access sequences that
+// re-merge: the joined abstract state must be sound for whichever path ran.
+func TestPropertyJoinCoversBothPaths(t *testing.T) {
+	const blocks, assoc = 10, 5
+	l := propLayout(t, blocks, 1, assoc)
+	d := NewDomain(l)
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prefix := randSeq(rng, blocks, 30)
+		armA := randSeq(rng, blocks, 15)
+		armB := randSeq(rng, blocks, 15)
+
+		absA, absB := d.NewState(), d.NewState()
+		concA, concB := newConcreteLRU(1, assoc), newConcreteLRU(1, assoc)
+		for _, b := range prefix {
+			d.Transfer(absA, Access{First: b, Count: 1})
+			d.Transfer(absB, Access{First: b, Count: 1})
+			concA.access(b)
+			concB.access(b)
+		}
+		for _, b := range armA {
+			d.Transfer(absA, Access{First: b, Count: 1})
+			concA.access(b)
+		}
+		for _, b := range armB {
+			d.Transfer(absB, Access{First: b, Count: 1})
+			concB.access(b)
+		}
+		joined := d.Join(absA, absB)
+		for blk := 0; blk < blocks; blk++ {
+			id := layout.BlockID(blk)
+			for _, conc := range []*concreteLRU{concA, concB} {
+				ca := conc.ageOf(id)
+				if ma, ok := joined.Must(id); ok && ma < ca {
+					t.Fatalf("seed %d: joined must age %d < concrete %d for block %d",
+						seed, ma, ca, blk)
+				}
+				if !joined.MayBeCached(id) && ca <= assoc {
+					t.Fatalf("seed %d: block %d cached on a path but not may-cached after join",
+						seed, blk)
+				}
+			}
+		}
+	}
+}
+
+func randSeq(rng *rand.Rand, blocks, n int) []layout.BlockID {
+	out := make([]layout.BlockID, n)
+	for i := range out {
+		out[i] = layout.BlockID(rng.Intn(blocks))
+	}
+	return out
+}
+
+// TestPropertyRangeAccessCoversAllResolutions: an unknown access resolved to
+// any candidate must be covered by the range transfer.
+func TestPropertyRangeAccessCoversAllResolutions(t *testing.T) {
+	const blocks, assoc = 8, 4
+	l := propLayout(t, blocks, 1, assoc)
+	d := NewDomain(l)
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prefix := randSeq(rng, blocks, 25)
+		first := layout.BlockID(rng.Intn(blocks - 2))
+		count := 2 + rng.Intn(int(layout.BlockID(blocks)-first)-1)
+
+		abs := d.NewState()
+		conc := newConcreteLRU(1, assoc)
+		for _, b := range prefix {
+			d.Transfer(abs, Access{First: b, Count: 1})
+			conc.access(b)
+		}
+		d.Transfer(abs, Access{First: first, Count: count})
+
+		// Concretely, the access resolved to SOME candidate; the abstract
+		// state must be sound for every resolution.
+		for pick := 0; pick < count; pick++ {
+			c2 := newConcreteLRU(1, assoc)
+			for _, b := range prefix {
+				c2.access(b)
+			}
+			c2.access(first + layout.BlockID(pick))
+			for blk := 0; blk < blocks; blk++ {
+				id := layout.BlockID(blk)
+				ca := c2.ageOf(id)
+				if ma, ok := abs.Must(id); ok && ma < ca {
+					t.Fatalf("seed %d pick %d: must age %d < concrete %d for block %d",
+						seed, pick, ma, ca, blk)
+				}
+				if !abs.MayBeCached(id) && ca <= assoc {
+					t.Fatalf("seed %d pick %d: block %d cached concretely but not may-cached",
+						seed, pick, blk)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyTransferMonotone: x ⊑ y implies Transfer(x) ⊑ Transfer(y) —
+// the fixpoint engine's convergence argument rests on this.
+func TestPropertyTransferMonotone(t *testing.T) {
+	const blocks, assoc = 8, 4
+	l := propLayout(t, blocks, 1, assoc)
+	for _, refined := range []bool{true, false} {
+		d := &Domain{L: l, Refined: refined}
+		for seed := int64(0); seed < 60; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			x := d.NewState()
+			for _, b := range randSeq(rng, blocks, 20) {
+				d.Transfer(x, Access{First: b, Count: 1})
+			}
+			// y = x joined with another state is ⊒ x.
+			other := d.NewState()
+			for _, b := range randSeq(rng, blocks, 20) {
+				d.Transfer(other, Access{First: b, Count: 1})
+			}
+			y := d.Join(x, other)
+			if !d.Leq(x, y) {
+				t.Fatalf("seed %d: join not an upper bound", seed)
+			}
+			acc := Access{First: layout.BlockID(rng.Intn(blocks)), Count: 1}
+			x2, y2 := x.Clone(), y.Clone()
+			d.Transfer(x2, acc)
+			d.Transfer(y2, acc)
+			if !d.Leq(x2, y2) {
+				t.Fatalf("refined=%v seed %d: transfer not monotone for %v\n x=%v\n y=%v\n x'=%v\n y'=%v",
+					refined, seed, acc, x, y, x2, y2)
+			}
+		}
+	}
+}
+
+// TestQuickCloneEquality uses testing/quick to fuzz Clone/Equal consistency.
+func TestQuickCloneEquality(t *testing.T) {
+	const blocks, assoc = 8, 4
+	l := propLayout(t, blocks, 1, assoc)
+	d := NewDomain(l)
+	f := func(seq []uint8) bool {
+		st := d.NewState()
+		for _, v := range seq {
+			d.Transfer(st, Access{First: layout.BlockID(int(v) % blocks), Count: 1})
+		}
+		c := st.Clone()
+		if !st.Equal(c) || !c.Equal(st) {
+			return false
+		}
+		// Mutating the clone must break equality.
+		if len(seq) > 0 {
+			d.Transfer(c, Access{First: layout.BlockID(int(seq[0]+1) % blocks), Count: 1})
+			_ = c
+		}
+		return st.Equal(st.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"specabsint/internal/ir"
+	"specabsint/internal/lower"
+	"specabsint/internal/source"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ast, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.Lower(ast, lower.Options{MaxUnroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// diamond builds entry -> (a | b) -> join -> ret.
+func diamond(t *testing.T) *ir.Program {
+	t.Helper()
+	bd := ir.NewBuilder("diamond")
+	entry := bd.NewBlock("entry")
+	a := bd.NewBlock("a")
+	b := bd.NewBlock("b")
+	join := bd.NewBlock("join")
+	bd.SetBlock(entry)
+	c := bd.Const(1)
+	bd.CondBr(ir.RegVal(c), a, b)
+	bd.SetBlock(a)
+	bd.Br(join)
+	bd.SetBlock(b)
+	bd.Br(join)
+	bd.SetBlock(join)
+	bd.Ret(ir.ConstVal(0))
+	prog, err := bd.Finish(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestGraphEdges(t *testing.T) {
+	g := New(diamond(t))
+	if len(g.Succs[0]) != 2 {
+		t.Fatalf("entry succs = %v", g.Succs[0])
+	}
+	if len(g.Preds[3]) != 2 {
+		t.Fatalf("join preds = %v", g.Preds[3])
+	}
+	if len(g.Exits) != 1 || g.Exits[0] != 3 {
+		t.Fatalf("exits = %v", g.Exits)
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	g := New(diamond(t))
+	if g.RPO[0] != g.Prog.Entry {
+		t.Errorf("RPO[0] = %d, want entry %d", g.RPO[0], g.Prog.Entry)
+	}
+	if g.RPO[len(g.RPO)-1] != 3 {
+		t.Errorf("RPO last = %d, want join", g.RPO[len(g.RPO)-1])
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := New(diamond(t))
+	dom := g.Dominators()
+	if dom.IDom[1] != 0 || dom.IDom[2] != 0 {
+		t.Errorf("idom(a)=%d idom(b)=%d, want 0,0", dom.IDom[1], dom.IDom[2])
+	}
+	if dom.IDom[3] != 0 {
+		t.Errorf("idom(join)=%d, want 0 (neither arm dominates)", dom.IDom[3])
+	}
+	if !dom.Dominates(0, 3) {
+		t.Error("entry should dominate join")
+	}
+	if dom.Dominates(1, 3) {
+		t.Error("a must not dominate join")
+	}
+	if !dom.Dominates(2, 2) {
+		t.Error("dominance must be reflexive")
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	g := New(diamond(t))
+	pdom := g.PostDominators()
+	if pdom.ImmediatePostDom(0) != 3 {
+		t.Errorf("ipdom(entry) = %d, want join (3)", pdom.ImmediatePostDom(0))
+	}
+	if pdom.ImmediatePostDom(1) != 3 || pdom.ImmediatePostDom(2) != 3 {
+		t.Error("both arms should be immediately post-dominated by join")
+	}
+	if pdom.ImmediatePostDom(3) != pdom.VirtualExit {
+		t.Errorf("ipdom(join) = %d, want virtual exit", pdom.ImmediatePostDom(3))
+	}
+}
+
+func TestPostDominatorsMultipleExits(t *testing.T) {
+	// entry -> (retA | retB): the branch's ipdom is the virtual exit.
+	bd := ir.NewBuilder("twoexits")
+	entry := bd.NewBlock("entry")
+	a := bd.NewBlock("a")
+	b := bd.NewBlock("b")
+	bd.SetBlock(entry)
+	c := bd.Const(0)
+	bd.CondBr(ir.RegVal(c), a, b)
+	bd.SetBlock(a)
+	bd.Ret(ir.ConstVal(1))
+	bd.SetBlock(b)
+	bd.Ret(ir.ConstVal(2))
+	prog, err := bd.Finish(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(prog)
+	pdom := g.PostDominators()
+	if pdom.ImmediatePostDom(entry) != pdom.VirtualExit {
+		t.Errorf("ipdom(entry) = %d, want virtual exit %d",
+			pdom.ImmediatePostDom(entry), pdom.VirtualExit)
+	}
+}
+
+func TestNaturalLoopsSimple(t *testing.T) {
+	prog := compile(t, `
+		int main() {
+			int s = 0;
+			for (int i = 0; i < 10; i++) { s += i; }
+			return s;
+		}`)
+	g := New(prog)
+	loops := g.NaturalLoops(g.Dominators())
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if len(l.Latches) == 0 {
+		t.Fatal("loop has no latch")
+	}
+	if !l.Contains(l.Header) {
+		t.Error("loop body must contain its header")
+	}
+}
+
+func TestNaturalLoopsNested(t *testing.T) {
+	prog := compile(t, `
+		int main() {
+			int s = 0;
+			for (int i = 0; i < 3; i++) {
+				for (int j = 0; j < 3; j++) { s += j; }
+			}
+			return s;
+		}`)
+	g := New(prog)
+	loops := g.NaturalLoops(g.Dominators())
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	// One loop body must strictly contain the other.
+	a, b := loops[0], loops[1]
+	if len(a.Body) > len(b.Body) {
+		a, b = b, a
+	}
+	for _, blk := range a.Body {
+		if !b.Contains(blk) {
+			t.Fatalf("inner loop block %d not inside outer loop", blk)
+		}
+	}
+}
+
+func TestNoLoopsInStraightLine(t *testing.T) {
+	prog := compile(t, "int main() { int x = 1; return x; }")
+	g := New(prog)
+	if loops := g.NaturalLoops(g.Dominators()); len(loops) != 0 {
+		t.Errorf("found %d loops in straight-line code", len(loops))
+	}
+}
+
+func TestWhileLoopDetected(t *testing.T) {
+	prog := compile(t, `
+		int main() {
+			int i = 0;
+			while (i < 100) { i += 3; }
+			return i;
+		}`)
+	g := New(prog)
+	loops := g.NaturalLoops(g.Dominators())
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := New(diamond(t))
+	dot := g.DOT()
+	for _, want := range []string{"digraph cfg", "b0 -> b1", "b0 -> b2", `label="T"`, `label="F"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestUnreachableBlockHandled(t *testing.T) {
+	bd := ir.NewBuilder("unreach")
+	entry := bd.NewBlock("entry")
+	dead := bd.NewBlock("dead")
+	bd.SetBlock(entry)
+	bd.Ret(ir.ConstVal(0))
+	bd.SetBlock(dead)
+	bd.Ret(ir.ConstVal(1))
+	prog, err := bd.Finish(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(prog)
+	if g.Reachable(dead) {
+		t.Error("dead block should be unreachable")
+	}
+	dom := g.Dominators()
+	if dom.IDom[dead] != -1 {
+		t.Error("unreachable block should have no idom")
+	}
+	if !strings.Contains(g.DOT(), "b0") {
+		t.Error("DOT should include entry")
+	}
+}

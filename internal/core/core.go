@@ -1,0 +1,287 @@
+// Package core implements the paper's contribution: abstract interpretation
+// that is sound under speculative execution (Algorithms 2 and 3).
+//
+// The CFG is augmented — implicitly, by the engine's worklist — with the
+// paper's virtual control flows: for every conditional branch b and
+// predicted direction p, a *color* (b, p) models the speculative execution
+// of the predicted side. The engine tracks three families of states:
+//
+//   - S[n]      — the normal (architectural) state at block entry;
+//   - Lane[n][c] — the wrong-path exploration state of color c with its
+//     remaining speculation budget (the region between the paper's vn_start
+//     and the rollback points);
+//   - SS[n][p]  — speculative states after rollback, propagated through the
+//     other branch until the branch's immediate post-dominator (vn_stop),
+//     where they merge back into S (Just-in-Time merging, Fig. 6c).
+//
+// The merge strategies of Fig. 6 are selectable: merging rollback states
+// directly into the normal flow (Fig. 6d), just-in-time merging (Fig. 6c,
+// default), and per-rollback-block trace partitioning which approximates
+// the unmerged flows of Fig. 6a/b.
+package core
+
+import (
+	"fmt"
+
+	"specabsint/internal/cache"
+	"specabsint/internal/cfg"
+	"specabsint/internal/interval"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+)
+
+// Strategy selects how speculative states merge with normal states (Fig. 6).
+type Strategy int
+
+// Merge strategies.
+const (
+	// StrategyJustInTime merges all rollback states of a color before the
+	// other branch, propagates the merged state through it, and joins the
+	// normal flow at the branch's post-dominator (Fig. 6c).
+	StrategyJustInTime Strategy = iota
+	// StrategyMergeAtRollback joins rollback states into the normal state
+	// at the other branch's entry (Fig. 6d) — the most aggressive merge.
+	StrategyMergeAtRollback
+	// StrategyPerRollbackBlock keeps one speculative flow per (color,
+	// rollback block) pair, approximating the unmerged virtual flows of
+	// Fig. 6a/b by trace partitioning. Most precise, most expensive.
+	StrategyPerRollbackBlock
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyJustInTime:
+		return "just-in-time"
+	case StrategyMergeAtRollback:
+		return "merge-at-rollback"
+	case StrategyPerRollbackBlock:
+		return "per-rollback-block"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options configures the analysis.
+type Options struct {
+	// Cache is the modeled cache geometry.
+	Cache layout.CacheConfig
+	// Speculative enables the virtual control flows; false runs the plain
+	// Algorithm-1 analysis (the unsound-under-speculation baseline).
+	Speculative bool
+	// DepthMiss (the paper's b_m) bounds the number of speculatively
+	// executed instructions when the branch condition is a potential cache
+	// miss; DepthHit (b_h) applies when it is proved a must-hit (§6.2).
+	DepthMiss int
+	DepthHit  int
+	// DynamicDepthBounding enables the §6.2 optimization that switches from
+	// b_m to b_h once the branch condition's loads are proved must-hits.
+	// When disabled, b_m is always used.
+	DynamicDepthBounding bool
+	// Strategy selects the speculative-state merging strategy (Fig. 6).
+	Strategy Strategy
+	// RefinedJoin enables the Appendix-B shadow-variable refinement.
+	RefinedJoin bool
+	// WideningThreshold is the number of in-state changes at a block before
+	// widening; 0 disables widening (§6.3).
+	WideningThreshold int
+}
+
+// DefaultOptions mirrors the paper's experimental setup: 512-line 64-byte
+// fully-associative LRU cache, speculation depths 20 (hit) / 200 (miss),
+// just-in-time merging, refined join, dynamic depth bounding on.
+func DefaultOptions() Options {
+	return Options{
+		Cache:                layout.PaperConfig(),
+		Speculative:          true,
+		DepthMiss:            200,
+		DepthHit:             20,
+		DynamicDepthBounding: true,
+		Strategy:             StrategyJustInTime,
+		RefinedJoin:          true,
+		WideningThreshold:    4,
+	}
+}
+
+// SpecFlow describes one color of the virtual control flow.
+type SpecFlow struct {
+	Branch    ir.BlockID // block ending in the conditional branch
+	Predicted bool       // true: the True successor is speculated
+	SpecSucc  ir.BlockID // vn_start target: entry of the speculated side
+	OtherSucc ir.BlockID // rollback target: entry of the other side
+	Stop      ir.BlockID // vn_stop: the branch's immediate post-dominator
+}
+
+// AccessInfo is the analysis verdict for one memory instruction on
+// architectural flows (normal execution, including post-rollback cache
+// pollution).
+type AccessInfo struct {
+	Instr *ir.Instr
+	Block ir.BlockID
+	Acc   cache.Access
+	Class cache.Classification
+}
+
+// Result is a completed analysis.
+type Result struct {
+	Prog   *ir.Program
+	Graph  *cfg.Graph
+	Layout *layout.Layout
+	Opts   Options
+
+	// In[b] is the normal abstract state at the entry of block b after the
+	// fixpoint (speculative contributions already merged per the strategy).
+	In []*cache.State
+	// SpecIn[b] maps partition id to the speculative state at b's entry
+	// (JIT / per-rollback-block strategies only).
+	SpecIn []map[int]*cache.State
+	// Access maps instruction id to its architectural verdict.
+	Access map[int]AccessInfo
+	// SpecAccess maps instruction id to its verdict on wrong-path
+	// (speculative lane) executions; these misses are invisible
+	// architecturally but cost time in the pipeline (the paper's #SpMiss).
+	SpecAccess map[int]cache.Classification
+
+	// Iterations counts worklist block processings (the paper's #Iteration).
+	Iterations int
+	// Branches counts conditional branches (= colors/2 when speculative).
+	Branches int
+	// Colors counts speculative flows considered.
+	Colors int
+	// Flows describes every speculative flow: the branch, the speculated
+	// successor, the rollback target, and the vn_stop merge point (the
+	// virtual control flow of §5.1 made explicit, e.g. for DOT export).
+	Flows []SpecFlow
+
+	domain *cache.Domain
+	idx    *interval.Result
+}
+
+// MissCount returns the number of static memory accesses not proved
+// always-hit on architectural flows (the paper's #Miss).
+func (r *Result) MissCount() int {
+	n := 0
+	for _, a := range r.Access {
+		if a.Class != cache.AlwaysHit {
+			n++
+		}
+	}
+	return n
+}
+
+// SpecMissCount returns the number of static memory accesses not proved
+// always-hit on speculative lanes (the paper's #SpMiss).
+func (r *Result) SpecMissCount() int {
+	n := 0
+	for _, c := range r.SpecAccess {
+		if c != cache.AlwaysHit {
+			n++
+		}
+	}
+	return n
+}
+
+// AccessCount returns the number of architecturally reachable memory
+// accesses.
+func (r *Result) AccessCount() int { return len(r.Access) }
+
+// HitCount returns the number of accesses proved always-hit.
+func (r *Result) HitCount() int { return r.AccessCount() - r.MissCount() }
+
+// ClassOf returns the architectural verdict for a memory instruction, and
+// whether the instruction is architecturally reachable.
+func (r *Result) ClassOf(instrID int) (cache.Classification, bool) {
+	a, ok := r.Access[instrID]
+	return a.Class, ok
+}
+
+// AccessOf returns the resolved candidate blocks of a memory instruction.
+func (r *Result) AccessOf(in *ir.Instr) cache.Access {
+	return resolveAccess(r.Layout, r.idx, in)
+}
+
+// SpecAccessOf returns the candidate blocks of a memory instruction on
+// wrong-path executions, where out-of-bounds indices reach adjacent memory.
+func (r *Result) SpecAccessOf(in *ir.Instr) cache.Access {
+	return resolveSpecAccess(r.Layout, r.idx, in)
+}
+
+// Domain exposes the cache domain used by the analysis (for diagnostics).
+func (r *Result) Domain() *cache.Domain { return r.domain }
+
+// IndexIntervals exposes the index analysis results.
+func (r *Result) IndexIntervals() *interval.Result { return r.idx }
+
+// Analyze runs the (speculative) abstract interpretation on prog.
+func Analyze(prog *ir.Program, opts Options) (*Result, error) {
+	if opts.DepthMiss < 0 || opts.DepthHit < 0 {
+		return nil, fmt.Errorf("core: speculation depths must be non-negative")
+	}
+	if opts.DepthHit > opts.DepthMiss {
+		return nil, fmt.Errorf("core: DepthHit (%d) must not exceed DepthMiss (%d)",
+			opts.DepthHit, opts.DepthMiss)
+	}
+	l, err := layout.New(prog, opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	g := cfg.New(prog)
+	idx := interval.Analyze(g)
+	e := newEngine(prog, g, l, idx, opts)
+	e.run()
+	return e.result(), nil
+}
+
+// resolveAccess maps a memory instruction to its candidate cache blocks
+// using the index intervals, clamped to the symbol: architecturally, an
+// out-of-bounds access is a program fault, so in-bounds candidates suffice.
+func resolveAccess(l *layout.Layout, idx *interval.Result, in *ir.Instr) cache.Access {
+	sym := l.Prog.Symbol(in.Sym)
+	iv := idx.IndexOf(in)
+	if iv.IsSingle() && iv.Lo >= 0 && iv.Lo < int64(sym.Len) {
+		return cache.Access{Sym: in.Sym, First: l.BlockOfElem(in.Sym, iv.Lo), Count: 1}
+	}
+	first, count := l.BlockRangeOfElems(in.Sym, iv.Lo, iv.Hi)
+	return cache.Access{Sym: in.Sym, First: first, Count: count}
+}
+
+// resolveSpecAccess maps a memory instruction to candidate blocks on
+// *wrong-path* executions, where an out-of-bounds index does not fault but
+// reads whatever memory sits at the computed address (Spectre v1). The
+// candidate range therefore extends beyond the symbol, clamped only to the
+// program's address space.
+func resolveSpecAccess(l *layout.Layout, idx *interval.Result, in *ir.Instr) cache.Access {
+	sym := l.Prog.Symbol(in.Sym)
+	iv := idx.IndexOf(in)
+	if iv.Lo >= 0 && iv.Hi < int64(sym.Len) {
+		return resolveAccess(l, idx, in)
+	}
+	base := l.Base[in.Sym]
+	elemSize := int64(sym.ElemSize)
+	end := l.AddressSpaceEnd()
+	// Maximum element offset that stays inside the address space.
+	maxElem := (end - base) / elemSize
+	lo, hi := iv.Lo, iv.Hi
+	if lo < 0 {
+		lo = -base / elemSize // reaches address 0
+	}
+	if hi > maxElem {
+		hi = maxElem
+	}
+	loAddr := base + lo*elemSize
+	hiAddr := base + hi*elemSize
+	if loAddr < 0 {
+		loAddr = 0
+	}
+	if loAddr >= end {
+		loAddr = end - 1
+	}
+	if hiAddr >= end {
+		hiAddr = end - 1
+	}
+	if hiAddr < loAddr {
+		hiAddr = loAddr
+	}
+	first := l.BlockOfAddr(loAddr)
+	last := l.BlockOfAddr(hiAddr)
+	return cache.Access{Sym: in.Sym, First: first, Count: int(last-first) + 1}
+}

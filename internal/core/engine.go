@@ -1,0 +1,608 @@
+package core
+
+import (
+	"container/heap"
+
+	"specabsint/internal/cache"
+	"specabsint/internal/cfg"
+	"specabsint/internal/interval"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+)
+
+// color identifies one speculative flow: branch block + predicted direction
+// (§6.4, Algorithm 3: one independent speculative state per color).
+type color struct {
+	id        int
+	branch    ir.BlockID
+	predicted bool       // true: the True successor is speculated
+	specSucc  ir.BlockID // entry of the speculated side
+	otherSucc ir.BlockID // entry of the side rolled back to
+	stop      ir.BlockID // vn_stop: immediate post-dominator of branch
+}
+
+// laneVal is a wrong-path exploration state with its remaining instruction
+// budget. Budgets join by max: exploring deeper than the hardware would
+// only over-approximates.
+type laneVal struct {
+	st     *cache.State
+	budget int
+}
+
+// partition is one SS flow: a color, plus (for per-rollback-block
+// partitioning) the block where the rollback occurred.
+type partition struct {
+	color *color
+	src   ir.BlockID // -1 for the merged (JIT) partition
+}
+
+type partKey struct {
+	colorID int
+	src     ir.BlockID
+}
+
+// blockHeap is a worklist ordered by reverse postorder, which minimizes
+// re-iteration of downstream blocks.
+type blockHeap struct {
+	order []int // RPO index per block
+	items []ir.BlockID
+}
+
+func (h *blockHeap) Len() int           { return len(h.items) }
+func (h *blockHeap) Less(i, j int) bool { return h.order[h.items[i]] < h.order[h.items[j]] }
+func (h *blockHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *blockHeap) Push(x any)         { h.items = append(h.items, x.(ir.BlockID)) }
+func (h *blockHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+type engine struct {
+	prog *ir.Program
+	g    *cfg.Graph
+	l    *layout.Layout
+	dom  *cache.Domain
+	idx  *interval.Result
+	opts Options
+
+	access map[int]cache.Access // per mem-instr id, architectural (in-bounds)
+	// accessSpec resolves the same instructions on wrong paths, where
+	// out-of-bounds indices reach adjacent memory instead of faulting
+	// (Spectre v1); used by the lanes.
+	accessSpec map[int]cache.Access
+
+	S    []*cache.State
+	SS   []map[int]*cache.State
+	Lane []map[int]laneVal
+
+	// dirty flags: which flows at a block changed since last processed.
+	dirtyS    []bool
+	dirtySS   []map[int]bool
+	dirtyLane []map[int]bool
+
+	// change counters drive widening of speculative flows.
+	ssChanges   []map[int]int
+	laneChanges []map[int]int
+
+	colors    []*color
+	colorsAt  map[ir.BlockID][]*color
+	parts     []partition
+	partByKey map[partKey]int
+
+	pdom *cfg.PostDomTree
+
+	heap    blockHeap
+	inWork  []bool
+	changes []int // per-block S-change counts, for widening
+	// loopHeader marks natural-loop headers: widening applies only there
+	// (§6.3 targets loops; widening ordinary merge blocks would discard
+	// precision that plain joins preserve).
+	loopHeader []bool
+	iter       int
+}
+
+func newEngine(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options) *engine {
+	n := len(prog.Blocks)
+	e := &engine{
+		prog:        prog,
+		g:           g,
+		l:           l,
+		dom:         &cache.Domain{L: l, Refined: opts.RefinedJoin},
+		idx:         idx,
+		opts:        opts,
+		access:      make(map[int]cache.Access),
+		accessSpec:  make(map[int]cache.Access),
+		S:           make([]*cache.State, n),
+		SS:          make([]map[int]*cache.State, n),
+		Lane:        make([]map[int]laneVal, n),
+		dirtyS:      make([]bool, n),
+		dirtySS:     make([]map[int]bool, n),
+		dirtyLane:   make([]map[int]bool, n),
+		ssChanges:   make([]map[int]int, n),
+		laneChanges: make([]map[int]int, n),
+		colorsAt:    map[ir.BlockID][]*color{},
+		partByKey:   map[partKey]int{},
+		inWork:      make([]bool, n),
+		changes:     make([]int, n),
+	}
+	e.heap.order = make([]int, n)
+	for i := range e.heap.order {
+		if g.RPOIndex[i] >= 0 {
+			e.heap.order[i] = g.RPOIndex[i]
+		} else {
+			e.heap.order[i] = n // unreachable: last
+		}
+	}
+	for i := range e.S {
+		e.S[i] = cache.Bottom()
+		e.SS[i] = map[int]*cache.State{}
+		e.Lane[i] = map[int]laneVal{}
+		e.dirtySS[i] = map[int]bool{}
+		e.dirtyLane[i] = map[int]bool{}
+		e.ssChanges[i] = map[int]int{}
+		e.laneChanges[i] = map[int]int{}
+	}
+	e.S[prog.Entry] = cache.NewState(l.NumBlocks)
+	e.dirtyS[prog.Entry] = true
+
+	e.loopHeader = make([]bool, n)
+	for _, loop := range g.NaturalLoops(g.Dominators()) {
+		e.loopHeader[loop.Header] = true
+	}
+
+	e.access, e.accessSpec = dataAccessMaps(prog, l, idx)
+
+	if opts.Speculative {
+		e.pdom = g.PostDominators()
+		for _, b := range prog.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpCondBr || !g.Reachable(b.ID) {
+				continue
+			}
+			stop := e.pdom.ImmediatePostDom(b.ID)
+			for _, predicted := range []bool{true, false} {
+				c := &color{
+					id:        len(e.colors),
+					branch:    b.ID,
+					predicted: predicted,
+					stop:      stop,
+				}
+				if predicted {
+					c.specSucc, c.otherSucc = t.TrueTarget, t.FalseTarget
+				} else {
+					c.specSucc, c.otherSucc = t.FalseTarget, t.TrueTarget
+				}
+				e.colors = append(e.colors, c)
+				e.colorsAt[b.ID] = append(e.colorsAt[b.ID], c)
+			}
+		}
+	}
+	return e
+}
+
+func (e *engine) enqueue(b ir.BlockID) {
+	if !e.inWork[b] {
+		heap.Push(&e.heap, b)
+		e.inWork[b] = true
+	}
+}
+
+func (e *engine) run() {
+	e.enqueue(e.prog.Entry)
+	for e.heap.Len() > 0 {
+		b := heap.Pop(&e.heap).(ir.BlockID)
+		e.inWork[b] = false
+		e.iter++
+		e.process(b)
+	}
+}
+
+// dataAccessMaps resolves every Load/Store to its candidate blocks: the
+// architectural (in-bounds) resolution and the wrong-path (OOB-extended)
+// resolution.
+func dataAccessMaps(prog *ir.Program, l *layout.Layout, idx *interval.Result) (access, accessSpec map[int]cache.Access) {
+	access = make(map[int]cache.Access)
+	accessSpec = make(map[int]cache.Access)
+	for _, b := range prog.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+				access[in.ID] = resolveAccess(l, idx, in)
+				accessSpec[in.ID] = resolveSpecAccess(l, idx, in)
+			}
+		}
+	}
+	return access, accessSpec
+}
+
+// transferBlock pushes a cache state through all instructions of a block.
+func (e *engine) transferBlock(b *ir.Block, st *cache.State) *cache.State {
+	out := st.Clone()
+	for i := range b.Instrs {
+		if acc, ok := e.access[b.Instrs[i].ID]; ok {
+			e.dom.Transfer(out, acc)
+		}
+	}
+	return out
+}
+
+// joinS merges st into S[target], widening if the block keeps changing, and
+// re-enqueues the target on change.
+func (e *engine) joinS(target ir.BlockID, st *cache.State) {
+	widening := e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
+		e.changes[target] >= e.opts.WideningThreshold
+	var prev *cache.State
+	if widening {
+		prev = e.S[target].Clone()
+	}
+	if !e.dom.JoinInto(e.S[target], st) {
+		return
+	}
+	if widening {
+		e.S[target] = e.dom.Widen(prev, e.S[target])
+	}
+	e.changes[target]++
+	e.dirtyS[target] = true
+	e.enqueue(target)
+}
+
+// joinSS merges st into SS[target][pid] and re-enqueues on change.
+// Like joinS, repeated growth is widened: speculative states circulating in
+// loops would otherwise creep one age step per fixpoint round (§6.3 applies
+// to speculative flows just as much as to normal ones).
+func (e *engine) joinSS(target ir.BlockID, pid int, st *cache.State) {
+	cur, ok := e.SS[target][pid]
+	if !ok {
+		cur = cache.Bottom()
+		e.SS[target][pid] = cur
+	}
+	widening := e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
+		e.ssChanges[target][pid] >= e.opts.WideningThreshold
+	var prev *cache.State
+	if widening {
+		prev = cur.Clone()
+	}
+	if !e.dom.JoinInto(cur, st) {
+		return
+	}
+	if widening {
+		e.SS[target][pid] = e.dom.Widen(prev, cur)
+	}
+	e.ssChanges[target][pid]++
+	e.dirtySS[target][pid] = true
+	e.enqueue(target)
+}
+
+// joinLane merges a lane value (state join, budget max) and re-enqueues on
+// change, widening after repeated growth.
+func (e *engine) joinLane(target ir.BlockID, colorID int, lv laneVal) {
+	cur, ok := e.Lane[target][colorID]
+	if !ok {
+		cur = laneVal{st: cache.Bottom()}
+	}
+	widening := e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
+		e.laneChanges[target][colorID] >= e.opts.WideningThreshold
+	var prev *cache.State
+	if widening {
+		prev = cur.st.Clone()
+	}
+	changed := e.dom.JoinInto(cur.st, lv.st)
+	if changed && widening {
+		cur.st = e.dom.Widen(prev, cur.st)
+	}
+	if lv.budget > cur.budget {
+		cur.budget = lv.budget
+		changed = true
+	}
+	if !ok {
+		changed = true
+	}
+	e.Lane[target][colorID] = cur
+	if changed {
+		e.laneChanges[target][colorID]++
+		e.dirtyLane[target][colorID] = true
+		e.enqueue(target)
+	}
+}
+
+// partFor interns a partition id.
+func (e *engine) partFor(c *color, src ir.BlockID) int {
+	key := partKey{colorID: c.id, src: src}
+	if pid, ok := e.partByKey[key]; ok {
+		return pid
+	}
+	pid := len(e.parts)
+	e.parts = append(e.parts, partition{color: c, src: src})
+	e.partByKey[key] = pid
+	return pid
+}
+
+// process handles one worklist pop. Only flows whose in-state changed since
+// they were last pushed through the block are re-evaluated.
+func (e *engine) process(n ir.BlockID) {
+	block := e.prog.Block(n)
+
+	isCondBr := false
+	if t := block.Terminator(); t != nil && t.Op == ir.OpCondBr {
+		isCondBr = true
+	}
+	// injectLanes starts the block's speculative flows from one source
+	// state (either the normal flow or a post-rollback SS flow — after a
+	// rollback, execution is architectural again and can itself
+	// mispredict, so SS flows must seed lanes too).
+	injectLanes := func(src, out *cache.State) {
+		if !e.opts.Speculative || !isCondBr {
+			return
+		}
+		depth := e.depthFor(block, src)
+		if depth <= 0 {
+			return
+		}
+		for _, c := range e.colorsAt[n] {
+			e.joinLane(c.specSucc, c.id, laneVal{st: out, budget: depth})
+		}
+	}
+
+	// Normal (architectural) flow.
+	if e.dirtyS[n] {
+		e.dirtyS[n] = false
+		if !e.S[n].IsBottom {
+			out := e.transferBlock(block, e.S[n])
+			for _, s := range e.g.Succs[n] {
+				e.joinS(s, out)
+			}
+			injectLanes(e.S[n], out)
+		}
+	}
+
+	// Speculative post-rollback flows (Algorithm 2/3: SS states). At the
+	// color's vn_stop they convert back into the normal state; elsewhere
+	// they propagate in parallel with it.
+	for pid := range e.dirtySS[n] {
+		delete(e.dirtySS[n], pid)
+		st := e.SS[n][pid]
+		c := e.parts[pid].color
+		if n == c.stop {
+			e.joinS(n, st)
+			continue
+		}
+		out := e.transferBlock(block, st)
+		for _, s := range e.g.Succs[n] {
+			e.joinSS(s, pid, out)
+		}
+		injectLanes(st, out)
+	}
+
+	// Wrong-path lanes: explore the speculated side, accumulating a rollback
+	// state after every memory access within the budget.
+	for colorID := range e.dirtyLane[n] {
+		delete(e.dirtyLane[n], colorID)
+		lv := e.Lane[n][colorID]
+		c := e.colors[colorID]
+		out, rollback := e.laneWalk(block, lv)
+		if out.budget > 0 {
+			for _, s := range e.g.Succs[n] {
+				e.joinLane(s, colorID, out)
+			}
+		}
+		if !rollback.IsBottom {
+			e.injectRollback(c, n, rollback)
+		}
+	}
+}
+
+// laneWalk pushes a lane through a block, consuming budget per instruction
+// and joining the state after each memory access into the rollback
+// accumulator (a rollback may occur at any moment, §5.1).
+func (e *engine) laneWalk(b *ir.Block, lv laneVal) (laneVal, *cache.State) {
+	st := lv.st.Clone()
+	budget := lv.budget
+	rollback := cache.Bottom()
+	for i := range b.Instrs {
+		if budget == 0 {
+			break
+		}
+		budget--
+		if acc, ok := e.accessSpec[b.Instrs[i].ID]; ok {
+			e.dom.Transfer(st, acc)
+			e.dom.JoinInto(rollback, st)
+		}
+	}
+	return laneVal{st: st, budget: budget}, rollback
+}
+
+// injectRollback feeds an accumulated rollback state of color c (observed in
+// block src) into the other branch, per the merge strategy.
+func (e *engine) injectRollback(c *color, src ir.BlockID, st *cache.State) {
+	switch e.opts.Strategy {
+	case StrategyMergeAtRollback:
+		e.joinS(c.otherSucc, st)
+	case StrategyJustInTime:
+		if c.otherSucc == c.stop {
+			// Degenerate diamond: the other side is the merge point itself.
+			e.joinS(c.otherSucc, st)
+			return
+		}
+		e.joinSS(c.otherSucc, e.partFor(c, -1), st)
+	case StrategyPerRollbackBlock:
+		if c.otherSucc == c.stop {
+			e.joinS(c.otherSucc, st)
+			return
+		}
+		e.joinSS(c.otherSucc, e.partFor(c, src), st)
+	}
+}
+
+// depthFor implements §6.2: use b_h when every load feeding the branch
+// condition (within the branch block) is proved a must-hit against the
+// source state, b_m otherwise. As the fixpoint weakens states, the choice
+// can only move from b_h to b_m, so convergence is monotone.
+func (e *engine) depthFor(block *ir.Block, src *cache.State) int {
+	if !e.opts.DynamicDepthBounding {
+		return e.opts.DepthMiss
+	}
+	t := block.Terminator()
+	if t.A.IsConst {
+		return e.opts.DepthHit
+	}
+	needed := map[ir.Reg]bool{t.A.Reg: true}
+	sliceLoads := map[int]bool{}
+	for i := len(block.Instrs) - 2; i >= 0; i-- {
+		in := &block.Instrs[i]
+		if !writesDst(in.Op) || !needed[in.Dst] {
+			continue
+		}
+		delete(needed, in.Dst)
+		if in.Op == ir.OpLoad {
+			sliceLoads[in.ID] = true
+			if !in.Idx.IsConst {
+				needed[in.Idx.Reg] = true
+			}
+			continue
+		}
+		for _, v := range regOperands(in) {
+			needed[v] = true
+		}
+	}
+	if len(needed) > 0 {
+		// The condition depends on values computed before this block; we
+		// cannot cheaply prove the resolving loads hit.
+		return e.opts.DepthMiss
+	}
+	st := src.Clone()
+	for i := range block.Instrs {
+		in := &block.Instrs[i]
+		acc, ok := e.access[in.ID]
+		if !ok {
+			continue
+		}
+		if sliceLoads[in.ID] && e.dom.Classify(st, acc) != cache.AlwaysHit {
+			return e.opts.DepthMiss
+		}
+		e.dom.Transfer(st, acc)
+	}
+	return e.opts.DepthHit
+}
+
+func writesDst(op ir.Op) bool {
+	switch op {
+	case ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop:
+		return false
+	}
+	return true
+}
+
+// regOperands returns the register operands an instruction reads (excluding
+// Load, which is handled by its caller).
+func regOperands(in *ir.Instr) []ir.Reg {
+	var regs []ir.Reg
+	add := func(v ir.Value) {
+		if !v.IsConst {
+			regs = append(regs, v.Reg)
+		}
+	}
+	switch in.Op {
+	case ir.OpConst, ir.OpNop, ir.OpBr:
+		// no register reads
+	case ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpBool, ir.OpCondBr, ir.OpRet:
+		add(in.A)
+	case ir.OpStore:
+		add(in.A)
+		add(in.Idx)
+	default: // binops
+		add(in.A)
+		add(in.B)
+	}
+	return regs
+}
+
+// result assembles the classification post-pass over the fixpoint states.
+func (e *engine) result() *Result {
+	res := &Result{
+		Prog:       e.prog,
+		Graph:      e.g,
+		Layout:     e.l,
+		Opts:       e.opts,
+		In:         e.S,
+		SpecIn:     e.SS,
+		Access:     map[int]AccessInfo{},
+		SpecAccess: map[int]cache.Classification{},
+		Iterations: e.iter,
+		Branches:   e.prog.CondBranchCount(),
+		Colors:     len(e.colors),
+		domain:     e.dom,
+		idx:        e.idx,
+	}
+	for _, c := range e.colors {
+		res.Flows = append(res.Flows, SpecFlow{
+			Branch:    c.branch,
+			Predicted: c.predicted,
+			SpecSucc:  c.specSucc,
+			OtherSucc: c.otherSucc,
+			Stop:      c.stop,
+		})
+	}
+	e.classify(res)
+	return res
+}
+
+// classify walks every flow through every block once more, combining
+// per-access verdicts: an access is always-hit only if it is always-hit on
+// the normal flow and on every speculative flow passing through it.
+func (e *engine) classify(res *Result) {
+	for _, b := range e.prog.Blocks {
+		var flows []*cache.State
+		if !e.S[b.ID].IsBottom {
+			flows = append(flows, e.S[b.ID])
+		}
+		for _, st := range e.SS[b.ID] {
+			if !st.IsBottom {
+				flows = append(flows, st)
+			}
+		}
+		for fi, f := range flows {
+			st := f.Clone()
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				acc, ok := e.access[in.ID]
+				if !ok {
+					continue
+				}
+				cls := e.dom.Classify(st, acc)
+				if fi == 0 {
+					res.Access[in.ID] = AccessInfo{Instr: in, Block: b.ID, Acc: acc, Class: cls}
+				} else if prev := res.Access[in.ID]; prev.Class != cls {
+					prev.Class = cache.Unknown
+					res.Access[in.ID] = prev
+				}
+				e.dom.Transfer(st, acc)
+			}
+		}
+		// Wrong-path verdicts from lanes (#SpMiss).
+		for _, lv := range e.Lane[b.ID] {
+			st := lv.st.Clone()
+			budget := lv.budget
+			for i := range b.Instrs {
+				if budget == 0 {
+					break
+				}
+				budget--
+				in := &b.Instrs[i]
+				acc, ok := e.accessSpec[in.ID]
+				if !ok {
+					continue
+				}
+				cls := e.dom.Classify(st, acc)
+				if prev, seen := res.SpecAccess[in.ID]; !seen {
+					res.SpecAccess[in.ID] = cls
+				} else if prev != cls {
+					res.SpecAccess[in.ID] = cache.Unknown
+				}
+				e.dom.Transfer(st, acc)
+			}
+		}
+	}
+}

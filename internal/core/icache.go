@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"specabsint/internal/cache"
+	"specabsint/internal/cfg"
+	"specabsint/internal/interval"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+)
+
+// AnalyzeInstructionCache runs the speculation-aware analysis on the
+// *instruction* cache: every instruction's fetch touches its code block, and
+// wrong-path fetches pollute the i-cache exactly like wrong-path loads
+// pollute the d-cache. The paper notes this extension in §3.2; it reuses
+// the identical fixpoint machinery — only the access map changes (every
+// instruction accesses its statically-known code block), which also makes
+// the analysis exact per access (no index uncertainty).
+//
+// Dynamic depth bounding is disabled: the speculation window depends on
+// *data*-cache residency of the branch condition, which this analysis does
+// not track, so the conservative b_m window is used throughout.
+func AnalyzeInstructionCache(prog *ir.Program, opts Options) (*Result, error) {
+	if opts.DepthMiss < 0 || opts.DepthHit < 0 {
+		return nil, fmt.Errorf("core: speculation depths must be non-negative")
+	}
+	codeL, fetchBlocks, err := layout.CodeLayout(prog, opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	opts.DynamicDepthBounding = false
+	g := cfg.New(prog)
+	idx := interval.Analyze(g)
+	e := newEngine(prog, g, codeL, idx, opts)
+	// Replace the data-access maps with instruction fetches: every
+	// instruction touches exactly its code block, on right and wrong paths
+	// alike.
+	fetch := make(map[int]cache.Access, prog.NumInstrs)
+	for _, b := range prog.Blocks {
+		for i := range b.Instrs {
+			id := b.Instrs[i].ID
+			fetch[id] = cache.Access{First: fetchBlocks[id], Count: 1}
+		}
+	}
+	e.access = fetch
+	e.accessSpec = fetch
+	e.run()
+	return e.result(), nil
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"specabsint/internal/cfg"
+	"specabsint/internal/interval"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+)
+
+// AnalyzePersistence runs the speculation-aware *persistence* analysis
+// ("first miss"): an access classified AlwaysHit here misses at most once
+// across the whole execution — even if the must analysis cannot prove it
+// always hits. The classification feeds the loop-bounded WCET estimate:
+// a persistent access inside a loop costs one miss plus hits, instead of a
+// miss per iteration. Speculative lanes and rollback states participate
+// exactly as in the must analysis, so the verdicts remain sound under
+// speculation.
+func AnalyzePersistence(prog *ir.Program, opts Options) (*Result, error) {
+	if opts.DepthMiss < 0 || opts.DepthHit < 0 {
+		return nil, fmt.Errorf("core: speculation depths must be non-negative")
+	}
+	if opts.DepthHit > opts.DepthMiss {
+		return nil, fmt.Errorf("core: DepthHit (%d) must not exceed DepthMiss (%d)",
+			opts.DepthHit, opts.DepthMiss)
+	}
+	l, err := layout.New(prog, opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	// Dynamic depth bounding keys off must-hit facts, which the persistence
+	// domain does not provide; use the conservative window.
+	opts.DynamicDepthBounding = false
+	g := cfg.New(prog)
+	idx := interval.Analyze(g)
+	e := newEngine(prog, g, l, idx, opts)
+	e.dom.Persist = true
+	e.dom.Refined = false // the NYoung refinement is a must-analysis rule
+	e.run()
+	return e.result(), nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"specabsint/internal/cache"
+	"specabsint/internal/layout"
+	"specabsint/internal/machine"
+)
+
+// loopReuse re-reads the same small table every iteration of a
+// data-dependent loop (which the front end cannot unroll).
+const loopReuse = `
+int tbl[16];
+int acc;
+int main(int n) {
+	int i = 0;
+	while (i < n) {
+		acc = acc + tbl[i & 15];
+		i = i + 1;
+	}
+	return acc;
+}`
+
+func TestPersistenceUpgradesLoopAccesses(t *testing.T) {
+	prog := compile(t, loopReuse)
+	opts := DefaultOptions()
+	opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 8}
+
+	must, err := Analyze(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persist, err := AnalyzePersistence(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := loadsOf(prog, "tbl")[0]
+	mustCls, _ := must.ClassOf(tbl.ID)
+	persistCls, _ := persist.ClassOf(tbl.ID)
+	if mustCls == cache.AlwaysHit {
+		t.Fatalf("must analysis proved the cold-start access always-hit?")
+	}
+	if persistCls != cache.AlwaysHit {
+		t.Errorf("table access not persistent (%v): once loaded, nothing evicts it", persistCls)
+	}
+}
+
+func TestPersistenceRespectsCapacity(t *testing.T) {
+	// The loop's working set exceeds the cache: nothing is persistent.
+	src := `
+	int tbl[64];
+	int acc;
+	int main(int n) {
+		int i = 0;
+		while (i < n) {
+			acc = acc + tbl[i & 63];
+			i = i + 1;
+		}
+		return acc;
+	}`
+	prog := compile(t, src)
+	opts := DefaultOptions()
+	opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 3}
+	persist, err := AnalyzePersistence(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := loadsOf(prog, "tbl")[0]
+	if cls, _ := persist.ClassOf(tbl.ID); cls == cache.AlwaysHit {
+		t.Error("access persistent despite the working set exceeding the cache")
+	}
+}
+
+func TestPersistenceBrokenBySpeculation(t *testing.T) {
+	// Architecturally the loop touches five lines (x, a, acc, i, n) — x is
+	// persistent in a 6-line cache. But the bounds-guarded access reads far
+	// out of bounds on mis-speculated paths, sweeping the filler region and
+	// evicting x: only wrong paths supply the eviction pressure.
+	src := `
+	int x;
+	int a[4];
+	int filler[1024];
+	int acc;
+	int main(int n) {
+		int i = 0;
+		acc = x;
+		while (i < n) {
+			if (i >= 0 && i < 4) { acc = acc + a[i]; }
+			acc = acc + x;
+			i = i + 1;
+		}
+		return acc;
+	}`
+	prog := compile(t, src)
+	opts := DefaultOptions()
+	opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 6}
+
+	base := opts
+	base.Speculative = false
+	nonspec, err := AnalyzePersistence(prog, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := AnalyzePersistence(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xLoads := loadsOf(prog, "x")
+	final := xLoads[len(xLoads)-1]
+	if cls, _ := nonspec.ClassOf(final.ID); cls != cache.AlwaysHit {
+		t.Fatalf("non-speculative: x not persistent (%v)", cls)
+	}
+	if cls, _ := spec.ClassOf(final.ID); cls == cache.AlwaysHit {
+		t.Error("speculative wrong paths can evict x; persistence must not survive")
+	}
+}
+
+// TestPersistenceSoundConcretely: an access classified persistent misses at
+// most once in any concrete run, including adversarially mis-speculated
+// ones.
+func TestPersistenceSoundConcretely(t *testing.T) {
+	prog := compile(t, loopReuse)
+	opts := DefaultOptions()
+	opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 8}
+	opts.DepthMiss, opts.DepthHit = 40, 40
+	persist, err := AnalyzePersistence(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := machine.New(prog, machine.Config{
+		Cache:           opts.Cache,
+		ForceMispredict: true,
+		WrongPathOOB:    true,
+		DepthMiss:       40,
+		DepthHit:        40,
+		MaxSteps:        5_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missCount := map[int]int{}
+	sim.OnAccess = func(r machine.AccessRecord) {
+		if !r.Speculative && !r.Hit {
+			missCount[r.InstrID]++
+		}
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, info := range persist.Access {
+		if info.Class != cache.AlwaysHit {
+			continue
+		}
+		// Persistent means at most `candidate blocks` first-misses in total
+		// (each candidate line can cold-miss once).
+		if missCount[id] > info.Acc.Count {
+			t.Errorf("instr %d classified persistent but missed %d times (candidates %d)",
+				id, missCount[id], info.Acc.Count)
+		}
+	}
+}

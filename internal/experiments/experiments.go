@@ -1,0 +1,487 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) on the MiniC corpus: Table 3/4 (benchmark statistics),
+// Table 5 (non-speculative vs speculative execution-time estimation),
+// Table 6 (merge strategies), Table 7 (side-channel detection), the Fig. 2/3
+// motivating example, and the §6.2/§6.3 ablations. The cmd/specbench binary
+// and the repository's bench_test.go both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/cache"
+	"specabsint/internal/core"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+	"specabsint/internal/machine"
+	"specabsint/internal/sidechannel"
+)
+
+// Setup fixes the experimental configuration (the paper's §7 defaults).
+type Setup struct {
+	Cache     layout.CacheConfig
+	DepthMiss int
+	DepthHit  int
+	MaxUnroll int
+}
+
+// PaperSetup returns the configuration used in the paper: 512 lines x 64 B,
+// LRU, speculation windows 200 (miss) / 20 (hit).
+func PaperSetup() Setup {
+	return Setup{
+		Cache:     layout.PaperConfig(),
+		DepthMiss: 200,
+		DepthHit:  20,
+		MaxUnroll: 4096,
+	}
+}
+
+func (s Setup) options(speculative bool) core.Options {
+	o := core.DefaultOptions()
+	o.Cache = s.Cache
+	o.DepthMiss = s.DepthMiss
+	o.DepthHit = s.DepthHit
+	o.Speculative = speculative
+	return o
+}
+
+// StatRow is one line of Table 3 / Table 4.
+type StatRow struct {
+	Name        string
+	Origin      string
+	Description string
+	LoC         int
+}
+
+// Table3 returns the WCET benchmark statistics.
+func Table3() []StatRow { return statRows(bench.WCETBenchmarks()) }
+
+// Table4 returns the side-channel benchmark statistics.
+func Table4() []StatRow { return statRows(bench.CryptoBenchmarks()) }
+
+func statRows(list []bench.Benchmark) []StatRow {
+	rows := make([]StatRow, 0, len(list))
+	for _, b := range list {
+		rows = append(rows, StatRow{b.Name, b.Origin, b.Description, b.LoC()})
+	}
+	return rows
+}
+
+// Table5Row compares the non-speculative and speculative analyses on one
+// WCET benchmark (Table 5 columns).
+type Table5Row struct {
+	Name        string
+	NonSpecTime time.Duration
+	NonSpecMiss int
+	SpecTime    time.Duration
+	SpecMiss    int
+	SpecSpMiss  int
+	Branches    int
+	Iterations  int
+}
+
+// Table5 regenerates the execution-time estimation comparison.
+func Table5(setup Setup) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, b := range bench.WCETBenchmarks() {
+		prog, err := bench.Compile(b.Code, setup.MaxUnroll)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		row := Table5Row{Name: b.Name, Branches: prog.CondBranchCount()}
+
+		start := time.Now()
+		base, err := core.Analyze(prog, setup.options(false))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		row.NonSpecTime = time.Since(start)
+		row.NonSpecMiss = base.MissCount()
+
+		start = time.Now()
+		spec, err := core.Analyze(prog, setup.options(true))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		row.SpecTime = time.Since(start)
+		row.SpecMiss = spec.MissCount()
+		row.SpecSpMiss = spec.SpecMissCount()
+		row.Iterations = spec.Iterations
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table6Row compares merge strategies on one benchmark (Table 6 columns).
+type Table6Row struct {
+	Name           string
+	RollbackTime   time.Duration
+	RollbackMiss   int
+	RollbackSpMiss int
+	RollbackIter   int
+	JITTime        time.Duration
+	JITMiss        int
+	JITSpMiss      int
+	JITIter        int
+}
+
+// Table6 regenerates the merging-strategy comparison (Fig. 6d vs Fig. 6c).
+func Table6(setup Setup) ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, b := range bench.WCETBenchmarks() {
+		prog, err := bench.Compile(b.Code, setup.MaxUnroll)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		row := Table6Row{Name: b.Name}
+
+		opts := setup.options(true)
+		opts.Strategy = core.StrategyMergeAtRollback
+		start := time.Now()
+		rb, err := core.Analyze(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		row.RollbackTime = time.Since(start)
+		row.RollbackMiss = rb.MissCount()
+		row.RollbackSpMiss = rb.SpecMissCount()
+		row.RollbackIter = rb.Iterations
+
+		opts.Strategy = core.StrategyJustInTime
+		start = time.Now()
+		jit, err := core.Analyze(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		row.JITTime = time.Since(start)
+		row.JITMiss = jit.MissCount()
+		row.JITSpMiss = jit.SpecMissCount()
+		row.JITIter = jit.Iterations
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table7Row is one line of the side-channel comparison.
+type Table7Row struct {
+	Name        string
+	BufferBytes int
+	NonSpecTime time.Duration
+	NonSpecLeak bool
+	SpecTime    time.Duration
+	SpecLeak    bool
+}
+
+// Table7 regenerates the side-channel detection comparison. For each crypto
+// kernel the client buffer size is swept (as in §7.3, from 32 KB down)
+// until the two methods diverge; kernels with no diverging size are
+// reported at the full 32 KB buffer.
+func Table7(setup Setup) ([]Table7Row, error) {
+	var rows []Table7Row
+	for _, b := range bench.CryptoBenchmarks() {
+		size, found, err := FindLeakThreshold(b, setup)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		if !found {
+			size = setup.Cache.SizeBytes()
+		}
+		row, err := table7At(b, size, setup)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table7At(b bench.Benchmark, bufBytes int, setup Setup) (Table7Row, error) {
+	prog, err := bench.Compile(bench.WithClient(b, bufBytes), setup.MaxUnroll)
+	if err != nil {
+		return Table7Row{}, err
+	}
+	row := Table7Row{Name: b.Name, BufferBytes: bufBytes}
+	start := time.Now()
+	nonspec, err := sidechannel.Analyze(prog, setup.options(false))
+	if err != nil {
+		return Table7Row{}, err
+	}
+	row.NonSpecTime = time.Since(start)
+	row.NonSpecLeak = nonspec.LeakDetected()
+	start = time.Now()
+	spec, err := sidechannel.Analyze(prog, setup.options(true))
+	if err != nil {
+		return Table7Row{}, err
+	}
+	row.SpecTime = time.Since(start)
+	row.SpecLeak = spec.LeakDetected()
+	return row, nil
+}
+
+// FindLeakThreshold sweeps the client buffer size and returns the smallest
+// size (in bytes) at which the speculative analysis reports a leak while the
+// non-speculative analysis does not. found is false when no such size
+// exists up to the cache capacity.
+//
+// The sweep is guided: the cache pressure at which a single mis-speculated
+// line tips an S-box line out is where the architectural working set
+// exactly fills the cache, so the expected threshold is (cache lines −
+// working-set lines). A narrow scan around that estimate finds the exact
+// point; a coarse full sweep is the fallback for kernels with unusual
+// structure.
+func FindLeakThreshold(b bench.Benchmark, setup Setup) (size int, found bool, err error) {
+	line := setup.Cache.LineSize
+	maxLines := setup.Cache.Lines()
+	probe := func(bufLines int) (specLeak, nonLeak bool, err error) {
+		row, err := table7At(b, bufLines*line, setup)
+		if err != nil {
+			return false, false, err
+		}
+		return row.SpecLeak, row.NonSpecLeak, nil
+	}
+
+	guess, err := workingSetLines(b, setup)
+	if err != nil {
+		return 0, false, err
+	}
+	// The minimal client already carries one buffer line; the window around
+	// (cache − workingSet) covers layout rounding and the wrong-path lines.
+	center := maxLines - guess
+	lo, hi := center-12, center+12
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > maxLines {
+		hi = maxLines
+	}
+	for s := lo; s <= hi; s++ {
+		spec, non, err := probe(s)
+		if err != nil {
+			return 0, false, err
+		}
+		if spec && !non {
+			return s * line, true, nil
+		}
+	}
+	// Fallback: binary search for the onset of the speculative leak.
+	// Below the full-eviction regime the speculative verdict is monotone in
+	// the buffer size, so the smallest leaking size is well-defined.
+	loS, hiS := 0, maxLines
+	onset := -1
+	for loS <= hiS {
+		mid := (loS + hiS) / 2
+		spec, _, err := probe(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if spec {
+			onset = mid
+			hiS = mid - 1
+		} else {
+			loS = mid + 1
+		}
+	}
+	if onset < 0 {
+		return 0, false, nil
+	}
+	// The window [spec onset, non-spec onset) may span a few lines; walk it.
+	for s := onset; s <= onset+8 && s <= maxLines; s++ {
+		spec, non, err := probe(s)
+		if err != nil {
+			return 0, false, err
+		}
+		if spec && !non {
+			return s * line, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// workingSetLines estimates the distinct cache lines the client+kernel touch
+// besides the attacker buffer, by compiling with a minimal buffer and
+// collecting the candidate blocks of every architectural access.
+func workingSetLines(b bench.Benchmark, setup Setup) (int, error) {
+	prog, err := bench.Compile(bench.WithClient(b, 64), setup.MaxUnroll)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Analyze(prog, setup.options(false))
+	if err != nil {
+		return 0, err
+	}
+	touched := map[layout.BlockID]bool{}
+	for _, info := range res.Access {
+		for i := 0; i < info.Acc.Count; i++ {
+			touched[info.Acc.First+layout.BlockID(i)] = true
+		}
+	}
+	// Subtract the minimal buffer's own line.
+	buf := prog.SymbolByName("client_inBuf")
+	first, n := res.Layout.BlockRange(buf.ID)
+	for i := 0; i < n; i++ {
+		delete(touched, first+layout.BlockID(i))
+	}
+	return len(touched), nil
+}
+
+// Fig2Result replays the motivating example both abstractly and concretely.
+type Fig2Result struct {
+	// Abstract verdicts for the final ph[k] access.
+	NonSpecAlwaysHit bool
+	SpecAlwaysHit    bool
+	// Concrete trace counts (Fig. 3).
+	NonSpecMisses int64
+	NonSpecHits   int64
+	SpecMisses    int64
+	SpecSpMisses  int64
+}
+
+// Fig2 regenerates the Fig. 2/3 motivating example.
+func Fig2(setup Setup) (*Fig2Result, error) {
+	res := &Fig2Result{}
+
+	// Abstract: symbolic secret k.
+	prog, err := bench.Compile(bench.Fig2Program(-1), setup.MaxUnroll)
+	if err != nil {
+		return nil, err
+	}
+	final := lastLoadOf(prog, "ph")
+	base, err := core.Analyze(prog, setup.options(false))
+	if err != nil {
+		return nil, err
+	}
+	if cls, ok := base.ClassOf(final.ID); ok {
+		res.NonSpecAlwaysHit = cls == cache.AlwaysHit
+	}
+	spec, err := core.Analyze(prog, setup.options(true))
+	if err != nil {
+		return nil, err
+	}
+	if cls, ok := spec.ClassOf(final.ID); ok {
+		res.SpecAlwaysHit = cls == cache.AlwaysHit
+	}
+
+	// Concrete: k = 0 (the evicted line).
+	conc, err := bench.Compile(bench.Fig2Program(0), setup.MaxUnroll)
+	if err != nil {
+		return nil, err
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Cache = setup.Cache
+	cfg.DepthMiss, cfg.DepthHit = 0, 0
+	stats, err := machine.RunProgram(conc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.NonSpecMisses, res.NonSpecHits = stats.Misses, stats.Hits
+
+	cfg = machine.DefaultConfig()
+	cfg.Cache = setup.Cache
+	cfg.ForceMispredict = true
+	cfg.DepthMiss, cfg.DepthHit = 3, 3
+	stats, err = machine.RunProgram(conc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.SpecMisses, res.SpecSpMisses = stats.Misses, stats.SpecMisses
+	return res, nil
+}
+
+func lastLoadOf(prog *ir.Program, name string) *ir.Instr {
+	sym := prog.SymbolByName(name)
+	var last *ir.Instr
+	for _, b := range prog.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpLoad && in.Sym == sym.ID {
+				last = in
+			}
+		}
+	}
+	return last
+}
+
+// DepthRow is one line of the §6.2 dynamic-depth-bounding ablation.
+type DepthRow struct {
+	Name          string
+	BoundedTime   time.Duration
+	BoundedMiss   int
+	BoundedIter   int
+	UnboundedTime time.Duration
+	UnboundedMiss int
+	UnboundedIter int
+}
+
+// DepthAblation compares the speculative analysis with and without the
+// §6.2 dynamic speculation-depth bounding.
+func DepthAblation(setup Setup) ([]DepthRow, error) {
+	var rows []DepthRow
+	for _, b := range bench.WCETBenchmarks() {
+		prog, err := bench.Compile(b.Code, setup.MaxUnroll)
+		if err != nil {
+			return nil, err
+		}
+		row := DepthRow{Name: b.Name}
+		opts := setup.options(true)
+		opts.DynamicDepthBounding = true
+		start := time.Now()
+		on, err := core.Analyze(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		row.BoundedTime = time.Since(start)
+		row.BoundedMiss = on.MissCount()
+		row.BoundedIter = on.Iterations
+
+		opts.DynamicDepthBounding = false
+		start = time.Now()
+		off, err := core.Analyze(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		row.UnboundedTime = time.Since(start)
+		row.UnboundedMiss = off.MissCount()
+		row.UnboundedIter = off.Iterations
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable renders rows of strings as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	underline := make([]string, len(header))
+	for i := range header {
+		underline[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(underline)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/core"
+	"specabsint/internal/layout"
+)
+
+// GeomRow is one point of the cache-geometry sweep: potential miss counts
+// under both analyses for one cache size.
+type GeomRow struct {
+	Lines       int
+	NonSpecMiss int
+	SpecMiss    int
+	SpecSpMiss  int
+}
+
+// GeometrySweep regenerates the figure-style ablation: how the gap between
+// the classic and the speculation-aware analysis varies with cache capacity
+// on one benchmark. Small caches thrash either way; very large caches
+// absorb the wrong-path pollution; the speculative analysis matters most in
+// between — the regime the paper's 512-line configuration sits in.
+func GeometrySweep(benchName string, lineCounts []int, setup Setup) ([]GeomRow, error) {
+	b, ok := bench.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", benchName)
+	}
+	prog, err := bench.Compile(b.Code, setup.MaxUnroll)
+	if err != nil {
+		return nil, err
+	}
+	var rows []GeomRow
+	for _, lines := range lineCounts {
+		cfg := layout.CacheConfig{LineSize: setup.Cache.LineSize, NumSets: 1, Assoc: lines}
+		opts := setup.options(false)
+		opts.Cache = cfg
+		base, err := core.Analyze(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		opts = setup.options(true)
+		opts.Cache = cfg
+		spec, err := core.Analyze(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, GeomRow{
+			Lines:       lines,
+			NonSpecMiss: base.MissCount(),
+			SpecMiss:    spec.MissCount(),
+			SpecSpMiss:  spec.SpecMissCount(),
+		})
+	}
+	return rows, nil
+}
+
+// ICacheRow is one line of the instruction-cache extension experiment.
+type ICacheRow struct {
+	Name        string
+	Fetches     int
+	NonSpecMiss int
+	SpecMiss    int
+	SpecSpMiss  int
+}
+
+// ICacheTable runs the §3.2 extension — the same speculative analysis over
+// the instruction cache — on the WCET suite.
+func ICacheTable(lines int, setup Setup) ([]ICacheRow, error) {
+	var rows []ICacheRow
+	for _, b := range bench.WCETBenchmarks() {
+		prog, err := bench.Compile(b.Code, setup.MaxUnroll)
+		if err != nil {
+			return nil, err
+		}
+		cfg := layout.CacheConfig{LineSize: setup.Cache.LineSize, NumSets: 1, Assoc: lines}
+		opts := setup.options(false)
+		opts.Cache = cfg
+		base, err := core.AnalyzeInstructionCache(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		opts = setup.options(true)
+		opts.Cache = cfg
+		spec, err := core.AnalyzeInstructionCache(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ICacheRow{
+			Name:        b.Name,
+			Fetches:     spec.AccessCount(),
+			NonSpecMiss: base.MissCount(),
+			SpecMiss:    spec.MissCount(),
+			SpecSpMiss:  spec.SpecMissCount(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,305 @@
+// Package interval implements an interval abstract domain and a
+// flow-sensitive interval analysis over the IR.
+//
+// Its role in the speculative cache analysis is to bound the element index
+// of memory accesses, narrowing the candidate cache blocks of each Load and
+// Store. The analysis deliberately performs *no* branch-condition
+// refinement: register and memory facts must remain valid on mis-speculated
+// paths, where branch conditions are ignored by the hardware (DESIGN.md,
+// "Intervals ignore branch conditions").
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed integer interval [Lo, Hi]. Lo > Hi encodes bottom.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Top is the full interval.
+func Top() Interval { return Interval{math.MinInt64, math.MaxInt64} }
+
+// Bot is the empty interval.
+func Bot() Interval { return Interval{1, 0} }
+
+// Single is the singleton interval {v}.
+func Single(v int64) Interval { return Interval{v, v} }
+
+// Of builds [lo, hi].
+func Of(lo, hi int64) Interval {
+	return Interval{lo, hi}
+}
+
+// IsBot reports whether the interval is empty.
+func (iv Interval) IsBot() bool { return iv.Lo > iv.Hi }
+
+// IsTop reports whether the interval is the full range.
+func (iv Interval) IsTop() bool {
+	return iv.Lo == math.MinInt64 && iv.Hi == math.MaxInt64
+}
+
+// IsSingle reports whether the interval holds exactly one value.
+func (iv Interval) IsSingle() bool { return iv.Lo == iv.Hi }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// String formats the interval.
+func (iv Interval) String() string {
+	if iv.IsBot() {
+		return "⊥"
+	}
+	if iv.IsTop() {
+		return "⊤"
+	}
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != math.MinInt64 {
+		lo = fmt.Sprintf("%d", iv.Lo)
+	}
+	if iv.Hi != math.MaxInt64 {
+		hi = fmt.Sprintf("%d", iv.Hi)
+	}
+	return fmt.Sprintf("[%s,%s]", lo, hi)
+}
+
+// Join returns the interval hull of a and b.
+func (a Interval) Join(b Interval) Interval {
+	if a.IsBot() {
+		return b
+	}
+	if b.IsBot() {
+		return a
+	}
+	return Interval{min64(a.Lo, b.Lo), max64(a.Hi, b.Hi)}
+}
+
+// Widen returns a widened against prev: bounds that grew jump to infinity.
+func (a Interval) Widen(prev Interval) Interval {
+	if prev.IsBot() {
+		return a
+	}
+	if a.IsBot() {
+		return prev
+	}
+	out := a
+	if a.Lo < prev.Lo {
+		out.Lo = math.MinInt64
+	}
+	if a.Hi > prev.Hi {
+		out.Hi = math.MaxInt64
+	}
+	return out
+}
+
+// Leq reports a ⊑ b (containment).
+func (a Interval) Leq(b Interval) bool {
+	if a.IsBot() {
+		return true
+	}
+	if b.IsBot() {
+		return false
+	}
+	return b.Lo <= a.Lo && a.Hi <= b.Hi
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// satAdd adds with saturation, treating MinInt64/MaxInt64 as sticky
+// infinities.
+func satAdd(a, b int64) int64 {
+	if a == math.MinInt64 || b == math.MinInt64 {
+		return math.MinInt64
+	}
+	if a == math.MaxInt64 || b == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if a > 0 && b > math.MaxInt64-a {
+		return math.MaxInt64
+	}
+	if a < 0 && b < math.MinInt64-a {
+		return math.MinInt64
+	}
+	return a + b
+}
+
+// fitsMul reports whether both operands are small enough that their product
+// cannot overflow int64.
+func fitsMul(a, b int64) bool {
+	const lim = int64(1) << 31
+	return a > -lim && a < lim && b > -lim && b < lim
+}
+
+// Add returns the interval sum.
+func (a Interval) Add(b Interval) Interval {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	return Interval{satAdd(a.Lo, b.Lo), satAdd(a.Hi, b.Hi)}
+}
+
+// Sub returns the interval difference.
+func (a Interval) Sub(b Interval) Interval {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	return Interval{satAdd(a.Lo, -b.Hi), satAdd(a.Hi, -b.Lo)}
+}
+
+// Neg returns the interval negation.
+func (a Interval) Neg() Interval {
+	if a.IsBot() {
+		return Bot()
+	}
+	lo, hi := -a.Hi, -a.Lo
+	if a.Hi == math.MinInt64 {
+		lo = math.MaxInt64
+	}
+	if a.Lo == math.MinInt64 {
+		hi = math.MaxInt64
+	}
+	return Interval{min64(lo, hi), max64(lo, hi)}
+}
+
+// Mul returns the interval product; it degrades to Top when bounds are too
+// large to multiply safely.
+func (a Interval) Mul(b Interval) Interval {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	if !fitsMul(a.Lo, b.Lo) || !fitsMul(a.Lo, b.Hi) ||
+		!fitsMul(a.Hi, b.Lo) || !fitsMul(a.Hi, b.Hi) {
+		return Top()
+	}
+	p := []int64{a.Lo * b.Lo, a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi}
+	lo, hi := p[0], p[0]
+	for _, v := range p[1:] {
+		lo, hi = min64(lo, v), max64(hi, v)
+	}
+	return Interval{lo, hi}
+}
+
+// Rem approximates the C remainder a % b: the result magnitude is bounded
+// by |b|-1 and takes the sign of a.
+func (a Interval) Rem(b Interval) Interval {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	m := max64(abs64(b.Lo), abs64(b.Hi))
+	if m == 0 || m == math.MaxInt64 {
+		return Top()
+	}
+	lo := int64(0)
+	if a.Lo < 0 {
+		lo = -(m - 1)
+	}
+	hi := int64(0)
+	if a.Hi > 0 {
+		hi = m - 1
+	}
+	return Interval{lo, hi}
+}
+
+// Div approximates integer division. Only the common positive-divisor case
+// is made precise; everything else degrades soundly.
+func (a Interval) Div(b Interval) Interval {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	if b.Lo > 0 {
+		// Dividing by something >= b.Lo shrinks magnitudes.
+		candidates := []int64{
+			quo(a.Lo, b.Lo), quo(a.Lo, b.Hi),
+			quo(a.Hi, b.Lo), quo(a.Hi, b.Hi),
+		}
+		lo, hi := candidates[0], candidates[0]
+		for _, v := range candidates[1:] {
+			lo, hi = min64(lo, v), max64(hi, v)
+		}
+		return Interval{lo, hi}
+	}
+	return Top()
+}
+
+func quo(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Shr approximates an arithmetic right shift by a constant amount.
+func (a Interval) Shr(b Interval) Interval {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	if !b.IsSingle() || b.Lo < 0 || b.Lo > 62 {
+		return Top()
+	}
+	s := uint(b.Lo)
+	lo, hi := a.Lo>>s, a.Hi>>s
+	if a.Lo == math.MinInt64 {
+		lo = math.MinInt64
+	}
+	if a.Hi == math.MaxInt64 {
+		hi = math.MaxInt64
+	}
+	return Interval{lo, hi}
+}
+
+// Shl approximates a left shift by a constant amount.
+func (a Interval) Shl(b Interval) Interval {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	if !b.IsSingle() || b.Lo < 0 || b.Lo > 30 {
+		return Top()
+	}
+	return a.Mul(Single(int64(1) << uint(b.Lo)))
+}
+
+// And approximates bitwise and. When either operand is known non-negative,
+// the result lies in [0, that operand's maximum] regardless of the other
+// operand's sign — this keeps the `x & (N-1)` masking idiom of the crypto
+// kernels precise even for unknown x.
+func (a Interval) And(b Interval) Interval {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	switch {
+	case a.Lo >= 0 && b.Lo >= 0:
+		return Interval{0, min64(a.Hi, b.Hi)}
+	case b.Lo >= 0:
+		return Interval{0, b.Hi}
+	case a.Lo >= 0:
+		return Interval{0, a.Hi}
+	}
+	return Top()
+}
+
+// Bool01 is the interval of comparison results.
+func Bool01() Interval { return Interval{0, 1} }
+
+func abs64(v int64) int64 {
+	if v == math.MinInt64 {
+		return math.MaxInt64
+	}
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,185 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	if !Bot().IsBot() || Top().IsBot() {
+		t.Error("bot/top misclassified")
+	}
+	if !Top().IsTop() || Single(3).IsTop() {
+		t.Error("top misclassified")
+	}
+	if !Single(5).IsSingle() || !Single(5).Contains(5) || Single(5).Contains(6) {
+		t.Error("singleton behavior")
+	}
+}
+
+func TestJoinHull(t *testing.T) {
+	j := Of(1, 3).Join(Of(5, 9))
+	if j != Of(1, 9) {
+		t.Errorf("join = %v", j)
+	}
+	if Bot().Join(Of(1, 2)) != Of(1, 2) {
+		t.Error("join with bottom")
+	}
+}
+
+func TestLeq(t *testing.T) {
+	if !Of(2, 3).Leq(Of(1, 4)) {
+		t.Error("containment")
+	}
+	if Of(0, 5).Leq(Of(1, 4)) {
+		t.Error("non-containment")
+	}
+	if !Bot().Leq(Of(1, 1)) {
+		t.Error("bottom is least")
+	}
+	if Of(1, 1).Leq(Bot()) {
+		t.Error("nothing below bottom")
+	}
+}
+
+func TestWiden(t *testing.T) {
+	w := Of(0, 10).Widen(Of(0, 5))
+	if w.Lo != 0 || w.Hi != math.MaxInt64 {
+		t.Errorf("widen grew-high = %v", w)
+	}
+	w = Of(-3, 5).Widen(Of(0, 5))
+	if w.Lo != math.MinInt64 || w.Hi != 5 {
+		t.Errorf("widen grew-low = %v", w)
+	}
+	w = Of(0, 5).Widen(Of(0, 5))
+	if w != Of(0, 5) {
+		t.Errorf("stable widen = %v", w)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Of(1, 2).Add(Of(10, 20)); got != Of(11, 22) {
+		t.Errorf("add = %v", got)
+	}
+	if got := Of(1, 2).Sub(Of(10, 20)); got != Of(-19, -8) {
+		t.Errorf("sub = %v", got)
+	}
+	if got := Of(-2, 3).Mul(Of(4, 5)); got != Of(-10, 15) {
+		t.Errorf("mul = %v", got)
+	}
+	if got := Of(1, 2).Neg(); got != Of(-2, -1) {
+		t.Errorf("neg = %v", got)
+	}
+	if got := Of(10, 100).Div(Single(10)); got != Of(1, 10) {
+		t.Errorf("div = %v", got)
+	}
+	if got := Of(0, 1000).Rem(Single(7)); got != Of(0, 6) {
+		t.Errorf("rem = %v", got)
+	}
+	if got := Of(-50, 50).Rem(Single(7)); got != Of(-6, 6) {
+		t.Errorf("rem signed = %v", got)
+	}
+	if got := Of(0, 255).And(Single(15)); got != Of(0, 15) {
+		t.Errorf("and = %v", got)
+	}
+	if got := Of(0, 7).Shl(Single(4)); got != Of(0, 112) {
+		t.Errorf("shl = %v", got)
+	}
+	if got := Of(0, 1024).Shr(Single(4)); got != Of(0, 64) {
+		t.Errorf("shr = %v", got)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	top := Top()
+	if got := top.Add(Single(1)); got.Lo != math.MinInt64 || got.Hi != math.MaxInt64 {
+		t.Errorf("saturating add = %v", got)
+	}
+	huge := Of(math.MaxInt64-1, math.MaxInt64)
+	if got := huge.Add(Single(10)); got.Hi != math.MaxInt64 {
+		t.Errorf("overflow add = %v", got)
+	}
+	if got := Of(1<<40, 1<<41).Mul(Of(1<<40, 1<<41)); !got.IsTop() {
+		t.Errorf("oversized mul should be top, got %v", got)
+	}
+}
+
+// Property: join is a least upper bound and all ops are monotone-sound for
+// membership: if x ∈ a and y ∈ b then x op y ∈ a.Op(b).
+func TestPropertySoundArithmetic(t *testing.T) {
+	f := func(x, y int32, wa, wb uint8) bool {
+		// Build intervals around x and y with random widths.
+		a := Of(int64(x)-int64(wa), int64(x)+int64(wa%16))
+		b := Of(int64(y)-int64(wb), int64(y)+int64(wb%16))
+		checks := []struct {
+			got  Interval
+			want int64
+		}{
+			{a.Add(b), int64(x) + int64(y)},
+			{a.Sub(b), int64(x) - int64(y)},
+			{a.Mul(b), int64(x) * int64(y)},
+			{a.Neg(), -int64(x)},
+		}
+		for _, c := range checks {
+			if !c.got.Contains(c.want) {
+				return false
+			}
+		}
+		if y > 0 {
+			if !a.Div(b).Contains(int64(x) / int64(y)) {
+				return false
+			}
+			if !a.Rem(b).Contains(int64(x) % int64(y)) {
+				return false
+			}
+		}
+		if x >= 0 && y >= 0 {
+			if !a.And(b).Contains(int64(x) & int64(y)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyJoinUpperBound(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		a := Of(min64(int64(a1), int64(a2)), max64(int64(a1), int64(a2)))
+		b := Of(min64(int64(b1), int64(b2)), max64(int64(b1), int64(b2)))
+		j := a.Join(b)
+		return a.Leq(j) && b.Leq(j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWidenUpperBound(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		prev := Of(min64(int64(a1), int64(a2)), max64(int64(a1), int64(a2)))
+		next := Of(min64(int64(b1), int64(b2)), max64(int64(b1), int64(b2)))
+		w := next.Widen(prev)
+		return next.Leq(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Interval{
+		"⊥":        Bot(),
+		"⊤":        Top(),
+		"[1,3]":    Of(1, 3),
+		"[0,+inf]": Of(0, math.MaxInt64),
+	}
+	for want, iv := range cases {
+		if got := iv.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", iv, got, want)
+		}
+	}
+}

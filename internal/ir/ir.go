@@ -1,0 +1,383 @@
+// Package ir defines the register-machine intermediate representation the
+// analyses operate on. A Function is a list of basic blocks; each block is a
+// straight-line sequence of instructions ending in a terminator (Br, CondBr,
+// or Ret). Values are either virtual registers or integer constants.
+// Memory traffic is explicit: only Load and Store touch memory, and every
+// memory operand names a Symbol (a laid-out program variable) plus an
+// element index operand.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is a virtual register id.
+type Reg int
+
+// String formats the register as %rN.
+func (r Reg) String() string { return fmt.Sprintf("%%r%d", int(r)) }
+
+// Value is an instruction operand: a register or a constant.
+type Value struct {
+	IsConst bool
+	Const   int64
+	Reg     Reg
+}
+
+// ConstVal makes a constant operand.
+func ConstVal(v int64) Value { return Value{IsConst: true, Const: v} }
+
+// RegVal makes a register operand.
+func RegVal(r Reg) Value { return Value{Reg: r} }
+
+// String formats the operand.
+func (v Value) String() string {
+	if v.IsConst {
+		return fmt.Sprintf("%d", v.Const)
+	}
+	return v.Reg.String()
+}
+
+// Op enumerates instruction opcodes.
+type Op int
+
+// Opcodes.
+const (
+	OpNop Op = iota
+	OpConst
+	OpMov
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg
+	OpNot  // bitwise complement
+	OpBool // logical not-zero -> 1/0... used with Cmp* usually
+	OpCmpLt
+	OpCmpLe
+	OpCmpGt
+	OpCmpGe
+	OpCmpEq
+	OpCmpNe
+	OpLoad
+	OpStore
+	OpBr
+	OpCondBr
+	OpRet
+)
+
+var opNames = map[Op]string{
+	OpNop:    "nop",
+	OpConst:  "const",
+	OpMov:    "mov",
+	OpAdd:    "add",
+	OpSub:    "sub",
+	OpMul:    "mul",
+	OpDiv:    "div",
+	OpRem:    "rem",
+	OpAnd:    "and",
+	OpOr:     "or",
+	OpXor:    "xor",
+	OpShl:    "shl",
+	OpShr:    "shr",
+	OpNeg:    "neg",
+	OpNot:    "not",
+	OpBool:   "bool",
+	OpCmpLt:  "cmplt",
+	OpCmpLe:  "cmple",
+	OpCmpGt:  "cmpgt",
+	OpCmpGe:  "cmpge",
+	OpCmpEq:  "cmpeq",
+	OpCmpNe:  "cmpne",
+	OpLoad:   "load",
+	OpStore:  "store",
+	OpBr:     "br",
+	OpCondBr: "condbr",
+	OpRet:    "ret",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsBinop reports whether the op is a two-operand arithmetic/compare op.
+func (o Op) IsBinop() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe, OpCmpEq, OpCmpNe:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether the op ends a basic block.
+func (o Op) IsTerminator() bool {
+	return o == OpBr || o == OpCondBr || o == OpRet
+}
+
+// SymbolID identifies a memory symbol within a Program.
+type SymbolID int
+
+// Symbol is a memory-resident program variable (scalar or array).
+type Symbol struct {
+	ID       SymbolID
+	Name     string
+	ElemSize int  // bytes per element
+	Len      int  // number of elements (1 for scalars)
+	Secret   bool // taint source for side-channel analysis
+	Init     []int64
+}
+
+// SizeBytes returns the symbol's total storage size.
+func (s *Symbol) SizeBytes() int { return s.ElemSize * s.Len }
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op   Op
+	Dst  Reg      // result register for value-producing ops
+	A, B Value    // operands
+	Sym  SymbolID // for Load/Store
+	Idx  Value    // element index for Load/Store
+	// CondBr: A = condition, TrueTarget/FalseTarget name successors.
+	TrueTarget  BlockID
+	FalseTarget BlockID
+	// Pos carries the originating source position (line may be 0 for
+	// synthesized instructions).
+	Line int
+	// ID is a program-unique instruction id assigned by Finalize; analyses
+	// key per-access results on it.
+	ID int
+}
+
+// BlockID identifies a basic block within a Function.
+type BlockID int
+
+// Block is a basic block.
+type Block struct {
+	ID     BlockID
+	Label  string
+	Instrs []Instr
+}
+
+// Terminator returns the final instruction of the block.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the successor block IDs in order (true target first for
+// conditional branches).
+func (b *Block) Succs() []BlockID {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBr:
+		return []BlockID{t.TrueTarget}
+	case OpCondBr:
+		return []BlockID{t.TrueTarget, t.FalseTarget}
+	}
+	return nil
+}
+
+// Program is a lowered whole program: a single entry function (everything is
+// inlined into main during lowering) plus the memory symbol table.
+type Program struct {
+	Name    string
+	Symbols []*Symbol
+	Blocks  []*Block
+	Entry   BlockID
+	NumRegs int
+	// NumInstrs is the total instruction count after Finalize.
+	NumInstrs int
+	symByName map[string]*Symbol
+}
+
+// Symbol returns the symbol with the given id.
+func (p *Program) Symbol(id SymbolID) *Symbol { return p.Symbols[id] }
+
+// SymbolByName returns the named symbol, or nil.
+func (p *Program) SymbolByName(name string) *Symbol {
+	if p.symByName == nil {
+		p.symByName = make(map[string]*Symbol, len(p.Symbols))
+		for _, s := range p.Symbols {
+			p.symByName[s.Name] = s
+		}
+	}
+	return p.symByName[name]
+}
+
+// Block returns the block with the given id.
+func (p *Program) Block(id BlockID) *Block { return p.Blocks[id] }
+
+// Finalize assigns program-unique instruction IDs and instruction counts.
+// It must be called (by the builder) before analyses run.
+func (p *Program) Finalize() {
+	id := 0
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			b.Instrs[i].ID = id
+			id++
+		}
+	}
+	p.NumInstrs = id
+	p.symByName = nil
+}
+
+// InstrCount returns the number of instructions in the program.
+func (p *Program) InstrCount() int { return p.NumInstrs }
+
+// CondBranchCount returns the number of conditional branches.
+func (p *Program) CondBranchCount() int {
+	n := 0
+	for _, b := range p.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == OpCondBr {
+			n++
+		}
+	}
+	return n
+}
+
+// MemAccessCount returns the number of Load/Store instructions.
+func (p *Program) MemAccessCount() int {
+	n := 0
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == OpLoad || b.Instrs[i].Op == OpStore {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// String prints the whole program in a readable assembly-like syntax.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s (entry %s)\n", p.Name, p.Blocks[p.Entry].Label)
+	for _, s := range p.Symbols {
+		secret := ""
+		if s.Secret {
+			secret = " secret"
+		}
+		fmt.Fprintf(&sb, "  sym %s: %d x %dB%s\n", s.Name, s.Len, s.ElemSize, secret)
+	}
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Label)
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", p.FormatInstr(&b.Instrs[i]))
+		}
+	}
+	return sb.String()
+}
+
+// FormatInstr renders one instruction.
+func (p *Program) FormatInstr(in *Instr) string {
+	symName := func(id SymbolID) string {
+		if int(id) < len(p.Symbols) {
+			return p.Symbols[id].Name
+		}
+		return fmt.Sprintf("sym%d", id)
+	}
+	blockLabel := func(id BlockID) string {
+		if int(id) < len(p.Blocks) {
+			return p.Blocks[id].Label
+		}
+		return fmt.Sprintf("bb%d", id)
+	}
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %s", in.Dst, in.A)
+	case OpMov:
+		return fmt.Sprintf("%s = mov %s", in.Dst, in.A)
+	case OpNeg, OpNot, OpBool:
+		return fmt.Sprintf("%s = %s %s", in.Dst, in.Op, in.A)
+	case OpLoad:
+		return fmt.Sprintf("%s = load %s[%s]", in.Dst, symName(in.Sym), in.Idx)
+	case OpStore:
+		return fmt.Sprintf("store %s[%s] = %s", symName(in.Sym), in.Idx, in.A)
+	case OpBr:
+		return fmt.Sprintf("br %s", blockLabel(in.TrueTarget))
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s ? %s : %s", in.A,
+			blockLabel(in.TrueTarget), blockLabel(in.FalseTarget))
+	case OpRet:
+		return fmt.Sprintf("ret %s", in.A)
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("%s = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+}
+
+// Validate checks structural invariants: every block ends in a terminator,
+// all branch targets exist, registers are within range, and symbol ids are
+// valid. It returns the first violation found.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("program has no blocks")
+	}
+	if int(p.Entry) >= len(p.Blocks) {
+		return fmt.Errorf("entry block %d out of range", p.Entry)
+	}
+	for _, b := range p.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %s is empty", b.Label)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.IsTerminator() != (i == len(b.Instrs)-1) {
+				return fmt.Errorf("block %s: terminator in wrong position (instr %d)", b.Label, i)
+			}
+			if in.Op == OpLoad || in.Op == OpStore {
+				if int(in.Sym) >= len(p.Symbols) {
+					return fmt.Errorf("block %s: invalid symbol %d", b.Label, in.Sym)
+				}
+			}
+			for _, tgt := range []BlockID{in.TrueTarget, in.FalseTarget} {
+				if (in.Op == OpBr || in.Op == OpCondBr) && int(tgt) >= len(p.Blocks) {
+					return fmt.Errorf("block %s: branch target %d out of range", b.Label, tgt)
+				}
+			}
+			checkReg := func(v Value) error {
+				if !v.IsConst && (int(v.Reg) < 0 || int(v.Reg) >= p.NumRegs) {
+					return fmt.Errorf("block %s: register %s out of range", b.Label, v.Reg)
+				}
+				return nil
+			}
+			if err := checkReg(in.A); err != nil && usesA(in.Op) {
+				return err
+			}
+			if err := checkReg(in.B); err != nil && in.Op.IsBinop() {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func usesA(op Op) bool {
+	switch op {
+	case OpNop, OpBr:
+		return false
+	}
+	return true
+}

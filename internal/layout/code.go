@@ -1,0 +1,42 @@
+package layout
+
+import "specabsint/internal/ir"
+
+// InstrBytes is the modeled size of one instruction in code memory
+// (RISC-style fixed-width encoding).
+const InstrBytes = 4
+
+// CodeLayout lays the program's instructions out in code memory and returns
+// a layout over the *code* address space plus the code block of every
+// instruction (indexed by instruction id). The paper notes its technique
+// "can be extended to the instruction cache as well" (§3.2); fetching an
+// instruction touches its code block exactly like a load touches a data
+// block, and wrong-path fetches pollute the instruction cache the same way.
+//
+// Basic blocks are placed sequentially in id order, each starting on an
+// instruction boundary (not a line boundary — straight-line code spans
+// lines, which is what makes the i-cache analysis interesting).
+func CodeLayout(prog *ir.Program, cfg CacheConfig) (*Layout, []BlockID, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	blocks := make([]BlockID, prog.NumInstrs)
+	addr := int64(0)
+	for _, b := range prog.Blocks {
+		for i := range b.Instrs {
+			blocks[b.Instrs[i].ID] = BlockID(addr / int64(cfg.LineSize))
+			addr += InstrBytes
+		}
+	}
+	n := int((addr + int64(cfg.LineSize) - 1) / int64(cfg.LineSize))
+	if n == 0 {
+		n = 1
+	}
+	l := &Layout{
+		Config:    cfg,
+		Prog:      prog,
+		Base:      make([]int64, len(prog.Symbols)),
+		NumBlocks: n,
+	}
+	return l, blocks, nil
+}

@@ -1,0 +1,283 @@
+package source
+
+import "fmt"
+
+// Type describes a MiniC type. Only integer scalars and one-dimensional
+// arrays of them exist.
+type Type struct {
+	Base    BaseType
+	IsArray bool
+	Len     int // elements, for arrays (resolved after const-eval)
+}
+
+// BaseType is a scalar base type.
+type BaseType int
+
+// Base types with their byte sizes.
+const (
+	Void BaseType = iota
+	Char          // 1 byte
+	Int           // 4 bytes
+	Long          // 8 bytes
+)
+
+// Size returns the size of the base type in bytes.
+func (b BaseType) Size() int {
+	switch b {
+	case Char:
+		return 1
+	case Int:
+		return 4
+	case Long:
+		return 8
+	}
+	return 0
+}
+
+// String returns the C spelling of the base type.
+func (b BaseType) String() string {
+	switch b {
+	case Void:
+		return "void"
+	case Char:
+		return "char"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	}
+	return "?"
+}
+
+// String returns the C-like spelling of the type.
+func (t Type) String() string {
+	if t.IsArray {
+		return fmt.Sprintf("%s[%d]", t.Base, t.Len)
+	}
+	return t.Base.String()
+}
+
+// SizeBytes returns the total storage size of the type.
+func (t Type) SizeBytes() int {
+	if t.IsArray {
+		return t.Base.Size() * t.Len
+	}
+	return t.Base.Size()
+}
+
+// Storage qualifies where a variable lives.
+type Storage int
+
+// Storage classes.
+const (
+	InMemory Storage = iota // default: participates in cache analysis
+	InReg                   // `reg`: register-resident, no memory traffic
+)
+
+// VarDecl declares a scalar or array variable (global or local).
+type VarDecl struct {
+	Name    string
+	Type    Type
+	Storage Storage
+	Secret  bool   // `secret` taint source
+	Init    Expr   // scalar initializer, may be nil
+	InitArr []Expr // array initializer elements, may be nil
+	Pos     Pos
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Ret    BaseType
+	Params []*VarDecl // scalars only
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (p *Program) Global(name string) *VarDecl {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+	Pos  Pos
+}
+
+// AssignStmt is lhs = rhs (lhs is identifier or index expression).
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for its side effects (e.g. a call, or a
+// bare load used by benchmarks to touch memory).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// IfStmt is if (Cond) Then else Else. Else may be nil.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt
+	Pos  Pos
+}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ForStmt is for (Init; Cond; Post) Body. Any of the three may be nil.
+type ForStmt struct {
+	Init Stmt // DeclStmt or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt returns from the current function. X may be nil.
+type ReturnStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+
+// StmtPos returns the statement's source position.
+func (s *BlockStmt) StmtPos() Pos    { return s.Pos }
+func (s *DeclStmt) StmtPos() Pos     { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos   { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos     { return s.Pos }
+func (s *IfStmt) StmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos    { return s.Pos }
+func (s *ForStmt) StmtPos() Pos      { return s.Pos }
+func (s *BreakStmt) StmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) StmtPos() Pos { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos   { return s.Pos }
+
+// NumberExpr is an integer literal.
+type NumberExpr struct {
+	Val int64
+	Pos Pos
+}
+
+// IdentExpr references a variable.
+type IdentExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is Arr[Index].
+type IndexExpr struct {
+	Arr   *IdentExpr
+	Index Expr
+	Pos   Pos
+}
+
+// UnaryExpr applies a prefix operator: - ~ !.
+type UnaryExpr struct {
+	Op  Kind
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Pos  Pos
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// CondExpr is the short-circuit form of && and || (kept distinct from
+// BinaryExpr so lowering can branch).
+type CondExpr struct {
+	Op   Kind // AndAnd or OrOr
+	L, R Expr
+	Pos  Pos
+}
+
+func (*NumberExpr) exprNode() {}
+func (*IdentExpr) exprNode()  {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*CondExpr) exprNode()   {}
+
+// ExprPos returns the expression's source position.
+func (e *NumberExpr) ExprPos() Pos { return e.Pos }
+func (e *IdentExpr) ExprPos() Pos  { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }
+func (e *CondExpr) ExprPos() Pos   { return e.Pos }

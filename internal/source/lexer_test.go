@@ -1,0 +1,133 @@
+package source
+
+import "testing"
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll("int x = 42;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwInt, IDENT, Assign, NUMBER, Semicolon, EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("number value = %d, want 42", toks[3].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "<< >> <= >= == != && || ++ -- += -= < > = ! & | ^ ~ + - * / %"
+	want := []Kind{
+		Shl, Shr, Le, Ge, EqEq, NotEq, AndAnd, OrOr, PlusPlus, MinusMinus,
+		PlusAssign, MinusAssign, Lt, Gt, Assign, Not, Amp, Pipe, Caret,
+		Tilde, Plus, Minus, Star, Slash, Percent, EOF,
+	}
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("// line\nint /* block\nacross lines */ x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwInt, IDENT, Semicolon, EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := LexAll("/* never closed"); err == nil {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestLexHexAndSuffixes(t *testing.T) {
+	toks, err := LexAll("0x63 15L 32767UL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 0x63 || toks[1].Val != 15 || toks[2].Val != 32767 {
+		t.Errorf("values = %d %d %d", toks[0].Val, toks[1].Val, toks[2].Val)
+	}
+}
+
+func TestLexCharLiteral(t *testing.T) {
+	toks, err := LexAll(`'a' '\n' '\0'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 'a' || toks[1].Val != '\n' || toks[2].Val != 0 {
+		t.Errorf("values = %d %d %d", toks[0].Val, toks[1].Val, toks[2].Val)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := LexAll("int $x;"); err == nil {
+		t.Fatal("expected error for '$'")
+	}
+}
+
+func TestStripIncludes(t *testing.T) {
+	out := StripIncludes("#include <stdio.h>\nint x;\n#define N 4\nint y;")
+	toks, err := LexAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, tok := range toks {
+		if tok.Kind == KwInt {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("got %d int keywords, want 2", count)
+	}
+}
+
+func TestLexKeywords(t *testing.T) {
+	src := "if else while for break continue return reg secret const void char long"
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		KwIf, KwElse, KwWhile, KwFor, KwBreak, KwContinue, KwReturn,
+		KwReg, KwSecret, KwConst, KwVoid, KwChar, KwLong, EOF,
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}

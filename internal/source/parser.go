@@ -1,0 +1,624 @@
+package source
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(StripIncludes(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		if err := p.parseTopLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %q, found %s", k.String(), p.cur())
+	}
+	return p.advance(), nil
+}
+
+func isTypeKw(k Kind) bool {
+	return k == KwInt || k == KwLong || k == KwChar || k == KwVoid
+}
+
+func baseOf(k Kind) BaseType {
+	switch k {
+	case KwInt:
+		return Int
+	case KwLong:
+		return Long
+	case KwChar:
+		return Char
+	}
+	return Void
+}
+
+// parseQualifiers consumes any combination of const/reg/secret qualifiers.
+func (p *Parser) parseQualifiers() (storage Storage, secret bool) {
+	for {
+		switch p.cur().Kind {
+		case KwConst:
+			p.advance()
+		case KwReg:
+			p.advance()
+			storage = InReg
+		case KwSecret:
+			p.advance()
+			secret = true
+		default:
+			return storage, secret
+		}
+	}
+}
+
+func (p *Parser) parseTopLevel(prog *Program) error {
+	storage, secret := p.parseQualifiers()
+	if !isTypeKw(p.cur().Kind) {
+		return errf(p.cur().Pos, "expected type at top level, found %s", p.cur())
+	}
+	base := baseOf(p.advance().Kind)
+	// "long int" / "unsigned"-free: allow a second int keyword after long.
+	if base == Long && p.cur().Kind == KwInt {
+		p.advance()
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if p.cur().Kind == LParen {
+		f, err := p.parseFuncRest(base, name)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+		return nil
+	}
+	for {
+		decl, err := p.parseVarRest(base, name, storage, secret)
+		if err != nil {
+			return err
+		}
+		prog.Globals = append(prog.Globals, decl)
+		if p.accept(Comma) {
+			name, err = p.expect(IDENT)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	_, err = p.expect(Semicolon)
+	return err
+}
+
+// parseVarRest parses the declarator tail after `base name`.
+func (p *Parser) parseVarRest(base BaseType, name Token, storage Storage, secret bool) (*VarDecl, error) {
+	d := &VarDecl{Name: name.Text, Type: Type{Base: base}, Storage: storage, Secret: secret, Pos: name.Pos}
+	if p.accept(LBracket) {
+		sz, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		n, err := EvalConst(sz)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, errf(name.Pos, "array %q must have positive constant size", name.Text)
+		}
+		d.Type.IsArray = true
+		d.Type.Len = int(n)
+	}
+	if p.accept(Assign) {
+		if d.Type.IsArray {
+			if _, err := p.expect(LBrace); err != nil {
+				return nil, err
+			}
+			for !p.accept(RBrace) {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.InitArr = append(d.InitArr, e)
+				if !p.accept(Comma) {
+					if _, err := p.expect(RBrace); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+	}
+	return d, nil
+}
+
+func (p *Parser) parseFuncRest(ret BaseType, name Token) (*FuncDecl, error) {
+	f := &FuncDecl{Name: name.Text, Ret: ret, Pos: name.Pos}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if !p.accept(RParen) {
+		if p.cur().Kind == KwVoid && p.peek().Kind == RParen {
+			p.advance()
+			p.advance()
+		} else {
+			for {
+				storage, secret := p.parseQualifiers()
+				if !isTypeKw(p.cur().Kind) {
+					return nil, errf(p.cur().Pos, "expected parameter type, found %s", p.cur())
+				}
+				base := baseOf(p.advance().Kind)
+				if base == Long && p.cur().Kind == KwInt {
+					p.advance()
+				}
+				pn, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				f.Params = append(f.Params, &VarDecl{
+					Name: pn.Text, Type: Type{Base: base},
+					Storage: storage, Secret: secret, Pos: pn.Pos,
+				})
+				if !p.accept(Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.accept(RBrace) {
+		if p.cur().Kind == EOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// blockOf wraps a single statement in a block (so `if (c) x=1;` works).
+func blockOf(s Stmt) *BlockStmt {
+	if b, ok := s.(*BlockStmt); ok {
+		return b
+	}
+	return &BlockStmt{Stmts: []Stmt{s}, Pos: s.StmtPos()}
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwFor:
+		return p.parseFor()
+	case KwBreak:
+		p.advance()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case KwContinue:
+		p.advance()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case KwReturn:
+		p.advance()
+		var x Expr
+		if p.cur().Kind != Semicolon {
+			var err error
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x, Pos: t.Pos}, nil
+	case Semicolon:
+		p.advance()
+		return &BlockStmt{Pos: t.Pos}, nil
+	}
+	if t.Kind == KwConst || t.Kind == KwReg || t.Kind == KwSecret || isTypeKw(t.Kind) {
+		return p.parseDeclStmt()
+	}
+	return p.parseSimpleStmtSemi()
+}
+
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	storage, secret := p.parseQualifiers()
+	if !isTypeKw(p.cur().Kind) {
+		return nil, errf(p.cur().Pos, "expected type in declaration, found %s", p.cur())
+	}
+	base := baseOf(p.advance().Kind)
+	if base == Long && p.cur().Kind == KwInt {
+		p.advance()
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	first, err := p.parseVarRest(base, name, storage, secret)
+	if err != nil {
+		return nil, err
+	}
+	decls := []*VarDecl{first}
+	for p.accept(Comma) {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.parseVarRest(base, name, storage, secret)
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, d)
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if len(decls) == 1 {
+		return &DeclStmt{Decl: decls[0], Pos: name.Pos}, nil
+	}
+	b := &BlockStmt{Pos: decls[0].Pos}
+	for _, d := range decls {
+		b.Stmts = append(b.Stmts, &DeclStmt{Decl: d, Pos: d.Pos})
+	}
+	return b, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement without the
+// trailing semicolon (used by for-headers).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign:
+		p.advance()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs, Pos: start}, nil
+	case PlusAssign, MinusAssign:
+		op := Plus
+		if p.cur().Kind == MinusAssign {
+			op = Minus
+		}
+		p.advance()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{
+			LHS: lhs,
+			RHS: &BinaryExpr{Op: op, L: lhs, R: rhs, Pos: start},
+			Pos: start,
+		}, nil
+	case PlusPlus, MinusMinus:
+		op := Plus
+		if p.cur().Kind == MinusMinus {
+			op = Minus
+		}
+		p.advance()
+		return &AssignStmt{
+			LHS: lhs,
+			RHS: &BinaryExpr{Op: op, L: lhs, R: &NumberExpr{Val: 1, Pos: start}, Pos: start},
+			Pos: start,
+		}, nil
+	}
+	return &ExprStmt{X: lhs, Pos: start}, nil
+}
+
+func (p *Parser) parseSimpleStmtSemi() (Stmt, error) {
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.advance() // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	thenStmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: blockOf(thenStmt), Pos: t.Pos}
+	if p.accept(KwElse) {
+		elseStmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = blockOf(elseStmt)
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.advance() // while
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: blockOf(body), Pos: t.Pos}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.advance() // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: t.Pos}
+	if !p.accept(Semicolon) {
+		if p.cur().Kind == KwConst || p.cur().Kind == KwReg || p.cur().Kind == KwSecret || isTypeKw(p.cur().Kind) {
+			d, err := p.parseDeclStmt() // consumes semicolon
+			if err != nil {
+				return nil, err
+			}
+			st.Init = d
+		} else {
+			s, err := p.parseSimpleStmtSemi()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = s
+		}
+	}
+	if !p.accept(Semicolon) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().Kind != RParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = blockOf(body)
+	return st, nil
+}
+
+// Operator precedence (C-like, low to high):
+//
+//	||  &&  |  ^  &  == !=  < > <= >=  << >>  + -  * / %  unary
+var precedence = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Pipe:   3,
+	Caret:  4,
+	Amp:    5,
+	EqEq:   6, NotEq: 6,
+	Lt: 7, Gt: 7, Le: 7, Ge: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := precedence[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		if op == AndAnd || op == OrOr {
+			lhs = &CondExpr{Op: op, L: lhs, R: rhs, Pos: opTok.Pos}
+		} else {
+			lhs = &BinaryExpr{Op: op, L: lhs, R: rhs, Pos: opTok.Pos}
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Minus, Tilde, Not:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Pos: t.Pos}, nil
+	case Plus:
+		p.advance()
+		return p.parseUnary()
+	case LParen:
+		// Either a cast like (long)x — ignored, MiniC is untyped at
+		// expression level — or a parenthesized expression.
+		if isTypeKw(p.peek().Kind) {
+			p.advance()                // (
+			p.advance()                // type
+			if p.cur().Kind == KwInt { // "long int"
+				p.advance()
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return p.parseUnary()
+		}
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case NUMBER:
+		p.advance()
+		return &NumberExpr{Val: t.Val, Pos: t.Pos}, nil
+	case IDENT:
+		p.advance()
+		switch p.cur().Kind {
+		case LParen:
+			p.advance()
+			call := &CallExpr{Name: t.Text, Pos: t.Pos}
+			if !p.accept(RParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+				if _, err := p.expect(RParen); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		case LBracket:
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{
+				Arr:   &IdentExpr{Name: t.Text, Pos: t.Pos},
+				Index: idx,
+				Pos:   t.Pos,
+			}, nil
+		}
+		return &IdentExpr{Name: t.Text, Pos: t.Pos}, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", t)
+}

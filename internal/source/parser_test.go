@@ -1,0 +1,274 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	return prog
+}
+
+func TestParseMinimalMain(t *testing.T) {
+	prog := mustParse(t, "int main() { return 0; }")
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name != "main" {
+		t.Fatalf("unexpected functions: %+v", prog.Funcs)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := mustParse(t, `
+		int a;
+		char buf[64];
+		int tbl[4] = {1, 2, 3, 4};
+		secret int key;
+		int main() { return a; }
+	`)
+	if len(prog.Globals) != 4 {
+		t.Fatalf("got %d globals, want 4", len(prog.Globals))
+	}
+	buf := prog.Global("buf")
+	if !buf.Type.IsArray || buf.Type.Len != 64 || buf.Type.Base != Char {
+		t.Errorf("buf type = %v", buf.Type)
+	}
+	tbl := prog.Global("tbl")
+	if len(tbl.InitArr) != 4 {
+		t.Errorf("tbl has %d initializers", len(tbl.InitArr))
+	}
+	if !prog.Global("key").Secret {
+		t.Error("key should be secret")
+	}
+}
+
+func TestParseConstArraySize(t *testing.T) {
+	prog := mustParse(t, "char ph[64*510]; int main() { return 0; }")
+	if got := prog.Global("ph").Type.Len; got != 64*510 {
+		t.Errorf("ph len = %d, want %d", got, 64*510)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	prog := mustParse(t, `
+		int main() {
+			int s = 0;
+			for (int i = 0; i < 10; i++) {
+				if (i % 2 == 0) { s += i; } else { s -= i; }
+				while (s > 100) { s = s / 2; break; }
+				if (s < 0) continue;
+			}
+			return s;
+		}
+	`)
+	body := prog.Funcs[0].Body
+	if len(body.Stmts) != 3 {
+		t.Fatalf("main body has %d stmts, want 3", len(body.Stmts))
+	}
+	if _, ok := body.Stmts[1].(*ForStmt); !ok {
+		t.Errorf("stmt 1 is %T, want *ForStmt", body.Stmts[1])
+	}
+}
+
+func TestParseIfWithoutBraces(t *testing.T) {
+	prog := mustParse(t, `
+		int main() {
+			int x = 1;
+			if (x > 0) x = 2; else x = 3;
+			return x;
+		}
+	`)
+	ifs := prog.Funcs[0].Body.Stmts[1].(*IfStmt)
+	if len(ifs.Then.Stmts) != 1 || len(ifs.Else.Stmts) != 1 {
+		t.Error("single statements should be wrapped into blocks")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := mustParse(t, "int main() { return 1 + 2 * 3; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	v, err := EvalConst(ret.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Errorf("1 + 2 * 3 = %d, want 7", v)
+	}
+}
+
+func TestParseShortCircuit(t *testing.T) {
+	prog := mustParse(t, "int main() { int a = 1; int b = 2; if (a > 0 && b > 0 || !a) { return 1; } return 0; }")
+	ifs := prog.Funcs[0].Body.Stmts[2].(*IfStmt)
+	cond, ok := ifs.Cond.(*CondExpr)
+	if !ok || cond.Op != OrOr {
+		t.Fatalf("top-level condition is %T, want *CondExpr(||)", ifs.Cond)
+	}
+	if inner, ok := cond.L.(*CondExpr); !ok || inner.Op != AndAnd {
+		t.Errorf("left is %T, want *CondExpr(&&)", cond.L)
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	prog := mustParse(t, `
+		int add(int a, int b) { return a + b; }
+		int main() { return add(1, add(2, 3)); }
+	`)
+	ret := prog.Funcs[1].Body.Stmts[0].(*ReturnStmt)
+	call := ret.X.(*CallExpr)
+	if call.Name != "add" || len(call.Args) != 2 {
+		t.Fatalf("unexpected call %+v", call)
+	}
+}
+
+func TestParseCastIgnored(t *testing.T) {
+	prog := mustParse(t, "int main() { long w; w = (long)5 * 3; return (int)w; }")
+	if prog == nil {
+		t.Fatal("nil program")
+	}
+}
+
+func TestParseQuantlSnippet(t *testing.T) {
+	// Condensed version of the paper's Figure 8.
+	src := `
+	int decis_levl[30] = { 280,576,880,1200,1520,1864,2208,2584,2960,3376,
+		3784,4240,4696,5200,5712,6288,6864,7520,8184,8968,9752,10712,11664,
+		12896,14120,15840,17560,20456,23352,32767 };
+	int quant26bt_pos[31] = { 61,60,59,58,57,56,55,54,53,52,51,50,49,48,47,
+		46,45,44,43,42,41,40,39,38,37,36,35,34,33,32,32 };
+	int quant26bt_neg[31] = { 63,62,31,30,29,28,27,26,25,24,23,22,21,20,19,
+		18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,4 };
+	int my_abs(int x) { if (x < 0) { return -x; } return x; }
+	int quantl(int el, int detl) {
+		int ril; int mil;
+		long wd; long decis;
+		wd = my_abs(el);
+		for (mil = 0; mil < 30; mil++) {
+			decis = (decis_levl[mil] * (long)detl) >> 15L;
+			if (wd <= decis) break;
+		}
+		if (el >= 0) { ril = quant26bt_pos[mil]; }
+		else { ril = quant26bt_neg[mil]; }
+		return ril;
+	}
+	int main() { return quantl(100, 7); }
+	`
+	prog := mustParse(t, src)
+	if prog.Func("quantl") == nil {
+		t.Fatal("quantl missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing semicolon":  "int main() { int x = 1 return x; }",
+		"unterminated block": "int main() { return 0;",
+		"bad token":          "int main() { return @; }",
+		"bad array size":     "int a[0]; int main() { return 0; }",
+		"nonconst size":      "int n; int a[n]; int main() { return 0; }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"undeclared var":     "int main() { return zz; }",
+		"undeclared fn":      "int main() { return f(1); }",
+		"arity":              "int f(int a) { return a; } int main() { return f(1, 2); }",
+		"dup global":         "int a; int a; int main() { return 0; }",
+		"dup local":          "int main() { int x; int x; return 0; }",
+		"assign to array":    "int a[4]; int main() { a = 1; return 0; }",
+		"index scalar":       "int x; int main() { return x[0]; }",
+		"break outside loop": "int main() { break; return 0; }",
+		"recursion":          "int f(int n) { return f(n); } int main() { return f(1); }",
+		"mutual recursion":   "int f(int n) { return g(n); } int g(int n) { return f(n); } int main() { return f(1); }",
+		"no main":            "int f() { return 0; }",
+		"void returns value": "void f() { return 1; } int main() { f(); return 0; }",
+		"reg array":          "int main() { reg int a[4]; return 0; }",
+	}
+	for name, src := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("%s: expected semantic error", name)
+		} else if strings.Contains(err.Error(), "unknown") {
+			t.Errorf("%s: low-quality error %q", name, err)
+		}
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"1 << 10", 1024},
+		{"255 & 0x0f", 15},
+		{"-5 % 3", -2},
+		{"7 / 2", 3},
+		{"~0", -1},
+		{"!0", 1},
+		{"!5", 0},
+		{"1 < 2", 1},
+		{"2 <= 1", 0},
+		{"3 == 3", 1},
+		{"3 != 3", 0},
+		{"1 && 0", 0},
+		{"0 || 2", 1},
+		{"5 ^ 3", 6},
+		{"64 * 510", 32640},
+	}
+	for _, tc := range cases {
+		toks, err := LexAll(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		p := &Parser{toks: toks}
+		e, err := p.parseExpr()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		v, err := EvalConst(e)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if v != tc.want {
+			t.Errorf("%s = %d, want %d", tc.src, v, tc.want)
+		}
+	}
+}
+
+func TestEvalConstDivZero(t *testing.T) {
+	toks, _ := LexAll("1 / 0")
+	p := &Parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalConst(e); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestWalkExprsCoversCallArgs(t *testing.T) {
+	prog := mustParse(t, `
+		int f(int a, int b) { return a + b; }
+		int main() { int x = 1; return f(x + 1, f(x, 2)); }
+	`)
+	calls := 0
+	WalkExprs(prog.Funcs[1].Body, func(e Expr) {
+		if _, ok := e.(*CallExpr); ok {
+			calls++
+		}
+	})
+	if calls != 2 {
+		t.Errorf("found %d calls, want 2", calls)
+	}
+}

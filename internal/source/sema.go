@@ -1,0 +1,382 @@
+package source
+
+import "fmt"
+
+// Check performs semantic analysis on a parsed program: name resolution,
+// arity checking, array/scalar usage consistency, and structural rules
+// (break/continue inside loops, no recursion — MiniC programs are fully
+// inlined during lowering).
+func Check(prog *Program) error {
+	c := &checker{
+		prog:    prog,
+		globals: map[string]*VarDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		if g.Type.IsArray && len(g.InitArr) > g.Type.Len {
+			return errf(g.Pos, "too many initializers for %q (%d > %d)",
+				g.Name, len(g.InitArr), g.Type.Len)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return errf(f.Pos, "duplicate function %q", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return fmt.Errorf("program has no main function")
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return c.checkNoRecursion()
+}
+
+type checker struct {
+	prog    *Program
+	globals map[string]*VarDecl
+	funcs   map[string]*FuncDecl
+
+	// per-function state
+	scopes    []map[string]*VarDecl
+	loopDepth int
+	current   *FuncDecl
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*VarDecl{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(d *VarDecl) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		return errf(d.Pos, "duplicate declaration of %q", d.Name)
+	}
+	top[d.Name] = d
+	return nil
+}
+
+// Lookup resolves a name to its declaration, innermost scope first.
+func (c *checker) lookup(name string) *VarDecl {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d, ok := c.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.current = f
+	c.scopes = nil
+	c.loopDepth = 0
+	c.pushScope()
+	for _, p := range f.Params {
+		if p.Type.IsArray {
+			return errf(p.Pos, "array parameters are not supported")
+		}
+		if err := c.declare(p); err != nil {
+			return err
+		}
+	}
+	err := c.checkBlock(f.Body)
+	c.popScope()
+	return err
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		d := st.Decl
+		if d.Type.IsArray && len(d.InitArr) > d.Type.Len {
+			return errf(d.Pos, "too many initializers for %q", d.Name)
+		}
+		if d.Type.IsArray && d.Storage == InReg {
+			return errf(d.Pos, "array %q cannot be reg-resident", d.Name)
+		}
+		if d.Init != nil {
+			if err := c.checkExpr(d.Init); err != nil {
+				return err
+			}
+		}
+		for _, e := range d.InitArr {
+			if err := c.checkExpr(e); err != nil {
+				return err
+			}
+		}
+		return c.declare(d)
+	case *AssignStmt:
+		if err := c.checkLValue(st.LHS); err != nil {
+			return err
+		}
+		return c.checkExpr(st.RHS)
+	case *ExprStmt:
+		return c.checkExpr(st.X)
+	case *IfStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(st.Body)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkExpr(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(st.Body)
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	case *ReturnStmt:
+		if st.X != nil {
+			if c.current.Ret == Void {
+				return errf(st.Pos, "void function %q returns a value", c.current.Name)
+			}
+			return c.checkExpr(st.X)
+		}
+		if c.current.Ret != Void {
+			return errf(st.Pos, "non-void function %q returns no value", c.current.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (c *checker) checkLValue(e Expr) error {
+	switch x := e.(type) {
+	case *IdentExpr:
+		d := c.lookup(x.Name)
+		if d == nil {
+			return errf(x.Pos, "undeclared variable %q", x.Name)
+		}
+		if d.Type.IsArray {
+			return errf(x.Pos, "cannot assign to array %q", x.Name)
+		}
+		return nil
+	case *IndexExpr:
+		return c.checkExpr(x)
+	}
+	return errf(e.ExprPos(), "expression is not assignable")
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch x := e.(type) {
+	case *NumberExpr:
+		return nil
+	case *IdentExpr:
+		d := c.lookup(x.Name)
+		if d == nil {
+			return errf(x.Pos, "undeclared variable %q", x.Name)
+		}
+		return nil
+	case *IndexExpr:
+		d := c.lookup(x.Arr.Name)
+		if d == nil {
+			return errf(x.Arr.Pos, "undeclared array %q", x.Arr.Name)
+		}
+		if !d.Type.IsArray {
+			return errf(x.Arr.Pos, "%q is not an array", x.Arr.Name)
+		}
+		return c.checkExpr(x.Index)
+	case *UnaryExpr:
+		return c.checkExpr(x.X)
+	case *BinaryExpr:
+		if err := c.checkExpr(x.L); err != nil {
+			return err
+		}
+		return c.checkExpr(x.R)
+	case *CondExpr:
+		if err := c.checkExpr(x.L); err != nil {
+			return err
+		}
+		return c.checkExpr(x.R)
+	case *CallExpr:
+		f, ok := c.funcs[x.Name]
+		if !ok {
+			return errf(x.Pos, "call to undeclared function %q", x.Name)
+		}
+		if len(x.Args) != len(f.Params) {
+			return errf(x.Pos, "call to %q has %d args, want %d",
+				x.Name, len(x.Args), len(f.Params))
+		}
+		for _, a := range x.Args {
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown expression %T", e)
+}
+
+// checkNoRecursion verifies the static call graph is acyclic so that
+// whole-program inlining terminates.
+func (c *checker) checkNoRecursion() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(f *FuncDecl) error
+	visit = func(f *FuncDecl) error {
+		color[f.Name] = gray
+		for _, callee := range calleesOf(f) {
+			g, ok := c.funcs[callee]
+			if !ok {
+				continue // already diagnosed
+			}
+			switch color[g.Name] {
+			case gray:
+				return errf(f.Pos, "recursion involving %q is not supported", g.Name)
+			case white:
+				if err := visit(g); err != nil {
+					return err
+				}
+			}
+		}
+		color[f.Name] = black
+		return nil
+	}
+	for _, f := range c.prog.Funcs {
+		if color[f.Name] == white {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// calleesOf collects the names of functions called anywhere in f.
+func calleesOf(f *FuncDecl) []string {
+	seen := map[string]bool{}
+	var names []string
+	WalkExprs(f.Body, func(e Expr) {
+		if call, ok := e.(*CallExpr); ok && !seen[call.Name] {
+			seen[call.Name] = true
+			names = append(names, call.Name)
+		}
+	})
+	return names
+}
+
+// WalkExprs invokes fn on every expression nested in the statement tree.
+func WalkExprs(s Stmt, fn func(Expr)) {
+	var walkE func(Expr)
+	walkE = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch x := e.(type) {
+		case *IndexExpr:
+			walkE(x.Index)
+		case *UnaryExpr:
+			walkE(x.X)
+		case *BinaryExpr:
+			walkE(x.L)
+			walkE(x.R)
+		case *CondExpr:
+			walkE(x.L)
+			walkE(x.R)
+		case *CallExpr:
+			for _, a := range x.Args {
+				walkE(a)
+			}
+		}
+	}
+	var walkS func(Stmt)
+	walkS = func(s Stmt) {
+		switch st := s.(type) {
+		case *BlockStmt:
+			for _, inner := range st.Stmts {
+				walkS(inner)
+			}
+		case *DeclStmt:
+			walkE(st.Decl.Init)
+			for _, e := range st.Decl.InitArr {
+				walkE(e)
+			}
+		case *AssignStmt:
+			walkE(st.LHS)
+			walkE(st.RHS)
+		case *ExprStmt:
+			walkE(st.X)
+		case *IfStmt:
+			walkE(st.Cond)
+			walkS(st.Then)
+			if st.Else != nil {
+				walkS(st.Else)
+			}
+		case *WhileStmt:
+			walkE(st.Cond)
+			walkS(st.Body)
+		case *ForStmt:
+			if st.Init != nil {
+				walkS(st.Init)
+			}
+			walkE(st.Cond)
+			if st.Post != nil {
+				walkS(st.Post)
+			}
+			walkS(st.Body)
+		case *ReturnStmt:
+			walkE(st.X)
+		}
+	}
+	walkS(s)
+}

@@ -1,0 +1,131 @@
+// Package taint computes which values in an IR program depend on secrets
+// (symbols declared with the `secret` qualifier). The side-channel detector
+// combines this with the speculative cache analysis: a secret-dependent
+// memory address whose hit/miss behaviour is not constant leaks timing
+// information about the secret.
+package taint
+
+import (
+	"specabsint/internal/ir"
+)
+
+// Result holds the taint facts for a program.
+type Result struct {
+	// Regs[r] reports whether virtual register r may carry secret data.
+	Regs []bool
+	// Scalars[sym] reports whether a scalar memory cell may hold secret
+	// data; Arrays[sym] whether any element of an array may.
+	Scalars []bool
+	Arrays  []bool
+	// SecretIndexed lists the ids of Load/Store instructions whose element
+	// index may depend on a secret — the cache side-channel sources.
+	SecretIndexed []int
+	// SecretBranches lists CondBr instruction ids whose condition may
+	// depend on a secret — control-flow timing channels (reported
+	// separately; the cache analysis covers the data-cache channel).
+	SecretBranches []int
+}
+
+// IsSecretIndexed reports whether the instruction id is a secret-indexed
+// access.
+func (r *Result) IsSecretIndexed(id int) bool {
+	for _, x := range r.SecretIndexed {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze propagates taint to a fixpoint. The analysis is flow-insensitive
+// (a cell tainted anywhere is tainted everywhere), which over-approximates
+// all executions including speculative ones — exactly what a sound leak
+// detector needs.
+func Analyze(prog *ir.Program) *Result {
+	res := &Result{
+		Regs:    make([]bool, prog.NumRegs),
+		Scalars: make([]bool, len(prog.Symbols)),
+		Arrays:  make([]bool, len(prog.Symbols)),
+	}
+	for _, s := range prog.Symbols {
+		if !s.Secret {
+			continue
+		}
+		if s.Len == 1 {
+			res.Scalars[s.ID] = true
+		} else {
+			res.Arrays[s.ID] = true
+		}
+	}
+
+	tainted := func(v ir.Value) bool {
+		return !v.IsConst && res.Regs[v.Reg]
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		setReg := func(r ir.Reg, v bool) {
+			if v && !res.Regs[r] {
+				res.Regs[r] = true
+				changed = true
+			}
+		}
+		for _, b := range prog.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpConst:
+					// never tainted
+				case ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpBool:
+					setReg(in.Dst, tainted(in.A))
+				case ir.OpLoad:
+					sym := prog.Symbol(in.Sym)
+					src := false
+					if sym.Len == 1 {
+						src = res.Scalars[in.Sym]
+					} else {
+						src = res.Arrays[in.Sym]
+					}
+					// Loading via a tainted index also taints the value
+					// (the value reveals the index).
+					setReg(in.Dst, src || tainted(in.Idx))
+				case ir.OpStore:
+					sym := prog.Symbol(in.Sym)
+					if tainted(in.A) || tainted(in.Idx) {
+						if sym.Len == 1 {
+							if !res.Scalars[in.Sym] {
+								res.Scalars[in.Sym] = true
+								changed = true
+							}
+						} else if !res.Arrays[in.Sym] {
+							res.Arrays[in.Sym] = true
+							changed = true
+						}
+					}
+				case ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop:
+					// no dataflow
+				default: // binops
+					setReg(in.Dst, tainted(in.A) || tainted(in.B))
+				}
+			}
+		}
+	}
+
+	for _, b := range prog.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore:
+				if tainted(in.Idx) {
+					res.SecretIndexed = append(res.SecretIndexed, in.ID)
+				}
+			case ir.OpCondBr:
+				if tainted(in.A) {
+					res.SecretBranches = append(res.SecretBranches, in.ID)
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,143 @@
+package taint
+
+import (
+	"testing"
+
+	"specabsint/internal/ir"
+	"specabsint/internal/lower"
+	"specabsint/internal/source"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ast, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.Lower(ast, lower.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func secretIndexedSyms(t *testing.T, prog *ir.Program, res *Result) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, b := range prog.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if res.IsSecretIndexed(in.ID) {
+				out[prog.Symbol(in.Sym).Name] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestDirectSecretIndex(t *testing.T) {
+	prog := compile(t, `
+		secret int key;
+		int sbox[256];
+		int main() { return sbox[key & 255]; }`)
+	res := Analyze(prog)
+	syms := secretIndexedSyms(t, prog, res)
+	if !syms["sbox"] {
+		t.Error("sbox access not flagged secret-indexed")
+	}
+}
+
+func TestTaintThroughArithmetic(t *testing.T) {
+	prog := compile(t, `
+		secret int key;
+		int tbl[64];
+		int main() {
+			int x = (key * 3 + 7) & 63;
+			return tbl[x];
+		}`)
+	res := Analyze(prog)
+	if !secretIndexedSyms(t, prog, res)["tbl"] {
+		t.Error("taint lost through arithmetic and memory")
+	}
+}
+
+func TestTaintThroughArrayContents(t *testing.T) {
+	prog := compile(t, `
+		secret int key;
+		int scratch[8];
+		int tbl[8];
+		int main() {
+			scratch[0] = key;
+			return tbl[scratch[0] & 7];
+		}`)
+	res := Analyze(prog)
+	if !secretIndexedSyms(t, prog, res)["tbl"] {
+		t.Error("taint lost through array store/load")
+	}
+}
+
+func TestNoFalseTaint(t *testing.T) {
+	prog := compile(t, `
+		secret int key;
+		int pub;
+		int tbl[8];
+		int main() {
+			int x = pub & 7;
+			int unused = key;
+			return tbl[x];
+		}`)
+	res := Analyze(prog)
+	if secretIndexedSyms(t, prog, res)["tbl"] {
+		t.Error("public index flagged as secret")
+	}
+}
+
+func TestSecretBranchDetected(t *testing.T) {
+	prog := compile(t, `
+		secret int key;
+		int a; int b;
+		int main() {
+			if (key > 0) { return a; }
+			return b;
+		}`)
+	res := Analyze(prog)
+	if len(res.SecretBranches) == 0 {
+		t.Error("secret-dependent branch not detected")
+	}
+}
+
+func TestConstIndexNeverTainted(t *testing.T) {
+	prog := compile(t, `
+		secret int key;
+		int tbl[8];
+		int main() { int x = key; return tbl[3]; }`)
+	res := Analyze(prog)
+	if len(res.SecretIndexed) != 0 {
+		t.Error("constant index flagged")
+	}
+}
+
+func TestSecretArraySource(t *testing.T) {
+	prog := compile(t, `
+		secret int keys[4];
+		int tbl[16];
+		int main() { return tbl[keys[0] & 15]; }`)
+	res := Analyze(prog)
+	if !secretIndexedSyms(t, prog, res)["tbl"] {
+		t.Error("secret array contents not treated as taint source")
+	}
+}
+
+func TestIndexRevealsThroughLoadedValue(t *testing.T) {
+	// Loading tbl[key] taints the loaded value; using it as another index
+	// keeps the second access tainted too.
+	prog := compile(t, `
+		secret int key;
+		int t1[16]; int t2[16];
+		int main() { return t2[t1[key & 15] & 15]; }`)
+	res := Analyze(prog)
+	syms := secretIndexedSyms(t, prog, res)
+	if !syms["t1"] || !syms["t2"] {
+		t.Errorf("chained secret lookups: %v", syms)
+	}
+}

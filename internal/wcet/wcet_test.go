@@ -1,0 +1,288 @@
+package wcet
+
+import (
+	"testing"
+
+	"specabsint/internal/core"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+	"specabsint/internal/lower"
+	"specabsint/internal/source"
+)
+
+func analyze(t *testing.T, src string, opts core.Options, maxUnroll int) *core.Result {
+	t.Helper()
+	ast, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.Lower(ast, lower.Options{MaxUnroll: maxUnroll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Analyze(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCountsStraightLine(t *testing.T) {
+	src := `
+	int a;
+	int main() {
+		int x = a;  // miss (cold)
+		int y = a;  // hit
+		return x + y;
+	}`
+	opts := core.DefaultOptions()
+	res := analyze(t, src, opts, 4096)
+	est := New(res, DefaultCosts())
+	if est.Accesses == 0 {
+		t.Fatal("no accesses")
+	}
+	if est.AlwaysHits == 0 {
+		t.Error("second load of a should be a guaranteed hit")
+	}
+	if est.Misses == 0 {
+		t.Error("cold loads should count as misses")
+	}
+	if est.Misses != est.Accesses-est.AlwaysHits {
+		t.Errorf("misses %d != accesses %d - hits %d", est.Misses, est.Accesses, est.AlwaysHits)
+	}
+}
+
+func TestWorstCasePicksLongerArm(t *testing.T) {
+	// The two arms touch different numbers of cold lines; the bound must
+	// charge the expensive one.
+	src := `
+	int a[64]; int b[16]; int p;
+	int main() {
+		reg int t;
+		if (p > 0) {
+			t = a[0]; t = a[16]; t = a[32]; t = a[48];
+		} else {
+			t = b[0];
+		}
+		return t;
+	}`
+	opts := core.DefaultOptions()
+	opts.Speculative = false
+	res := analyze(t, src, opts, 4096)
+	costs := DefaultCosts()
+	est := New(res, costs)
+	if est.WorstCaseCycles < 0 {
+		t.Fatal("acyclic program reported unbounded")
+	}
+	// Lower bound: 4 cold misses on the long arm + the p load.
+	if est.WorstCaseCycles < 5*costs.MissPenalty {
+		t.Errorf("wcet = %d, want >= %d", est.WorstCaseCycles, 5*costs.MissPenalty)
+	}
+}
+
+func TestCyclicCFGUnbounded(t *testing.T) {
+	src := `
+	int a;
+	int main(int n) {
+		int s = 0;
+		while (n > 0) { s += a; n = n - 1; }
+		return s;
+	}`
+	res := analyze(t, src, core.DefaultOptions(), 1)
+	est := New(res, DefaultCosts())
+	if est.WorstCaseCycles != -1 {
+		t.Errorf("cyclic CFG wcet = %d, want -1", est.WorstCaseCycles)
+	}
+}
+
+func TestSpeculationIncreasesBound(t *testing.T) {
+	// The Fig. 2 pattern: under speculation ph[k] is no longer always-hit,
+	// so the bound grows.
+	src := `
+	char ph[64*32];
+	char l1[64]; char l2[64]; char p;
+	int main() {
+		reg int i; reg int tmp;
+		reg int k;
+		for (i = 0; i < 64*32; i += 64) { tmp = ph[i]; }
+		if (p == 0) { tmp = l1[0]; } else { tmp = l2[0]; }
+		tmp = ph[k];
+		return tmp;
+	}`
+	cacheCfg := layout.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 34}
+	spec := core.DefaultOptions()
+	spec.Cache = cacheCfg
+	nonspec := spec
+	nonspec.Speculative = false
+
+	costs := DefaultCosts()
+	specEst := New(analyze(t, src, spec, 4096), costs)
+	baseEst := New(analyze(t, src, nonspec, 4096), costs)
+	if specEst.WorstCaseCycles <= baseEst.WorstCaseCycles {
+		t.Errorf("speculative wcet %d should exceed baseline %d",
+			specEst.WorstCaseCycles, baseEst.WorstCaseCycles)
+	}
+	if specEst.SpecMisses == 0 {
+		t.Error("no speculative misses counted")
+	}
+	if specEst.SpecExtraCycles != int64(specEst.SpecMisses)*costs.MissPenalty {
+		t.Error("spec extra cycles inconsistent")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	src := `int a; int main() { return a; }`
+	res := analyze(t, src, core.DefaultOptions(), 4096)
+	est := New(res, DefaultCosts())
+	if est.String() == "" {
+		t.Error("empty rendering")
+	}
+	res2 := analyze(t, `int a; int main(int n) { int s = 0; while (n > 0) { s += a; n--; } return s; }`,
+		core.DefaultOptions(), 1)
+	est2 := New(res2, DefaultCosts())
+	if est2.String() == "" {
+		t.Error("empty rendering for cyclic")
+	}
+}
+
+func TestBoundedWCETSimpleLoop(t *testing.T) {
+	src := `
+	int a;
+	int main(int n) {
+		int s = 0;
+		while (n > 0) { s += a; n = n - 1; }
+		return s;
+	}`
+	res := analyze(t, src, core.DefaultOptions(), 1)
+	costs := DefaultCosts()
+
+	// Without bounds: unbounded.
+	if est := NewWithBounds(res, costs, BoundOptions{}); est.WorstCaseCycles != -1 {
+		t.Errorf("no bounds: wcet = %d, want -1", est.WorstCaseCycles)
+	}
+	// With a default bound, the estimate is finite and grows with the bound.
+	est10 := NewWithBounds(res, costs, BoundOptions{DefaultLoopBound: 10})
+	est20 := NewWithBounds(res, costs, BoundOptions{DefaultLoopBound: 20})
+	if est10.WorstCaseCycles <= 0 {
+		t.Fatalf("bounded wcet = %d, want finite positive", est10.WorstCaseCycles)
+	}
+	if est20.WorstCaseCycles <= est10.WorstCaseCycles {
+		t.Errorf("doubling the bound did not grow the estimate: %d vs %d",
+			est20.WorstCaseCycles, est10.WorstCaseCycles)
+	}
+}
+
+func TestBoundedWCETDominatesUnrolledExact(t *testing.T) {
+	// The same loop, once unrolled exactly and once bounded: the bounded
+	// estimate must dominate the exact acyclic one.
+	loop := `
+	int a[16];
+	int main() {
+		int s = 0;
+		for (int i = 0; i < 16; i++) { s += a[i & 15]; }
+		return s;
+	}`
+	costs := DefaultCosts()
+	exact := New(analyze(t, loop, core.DefaultOptions(), 64), costs)
+	if exact.WorstCaseCycles < 0 {
+		t.Fatal("unrolled version should be acyclic")
+	}
+	bounded := NewWithBounds(analyze(t, loop, core.DefaultOptions(), 1), costs,
+		BoundOptions{DefaultLoopBound: 16})
+	if bounded.WorstCaseCycles < exact.WorstCaseCycles {
+		t.Errorf("bounded estimate %d below exact unrolled %d",
+			bounded.WorstCaseCycles, exact.WorstCaseCycles)
+	}
+}
+
+func TestBoundedWCETNestedLoops(t *testing.T) {
+	src := `
+	int a;
+	int main(int n, int m) {
+		int s = 0;
+		int i = 0;
+		while (i < n) {
+			int j = 0;
+			while (j < m) { s += a; j = j + 1; }
+			i = i + 1;
+		}
+		return s;
+	}`
+	res := analyze(t, src, core.DefaultOptions(), 1)
+	costs := DefaultCosts()
+	small := NewWithBounds(res, costs, BoundOptions{DefaultLoopBound: 2})
+	big := NewWithBounds(res, costs, BoundOptions{DefaultLoopBound: 8})
+	if small.WorstCaseCycles <= 0 || big.WorstCaseCycles <= 0 {
+		t.Fatalf("nested bounded wcet: %d / %d", small.WorstCaseCycles, big.WorstCaseCycles)
+	}
+	// Nested loops multiply: 16x the iterations should far exceed 4x cost.
+	if big.WorstCaseCycles < 4*small.WorstCaseCycles {
+		t.Errorf("nested bound scaling too weak: %d vs %d", big.WorstCaseCycles, small.WorstCaseCycles)
+	}
+}
+
+func TestBoundedWCETPerHeaderBounds(t *testing.T) {
+	src := `
+	int a;
+	int main(int n) {
+		int s = 0;
+		while (n > 0) { s += a; n = n - 1; }
+		return s;
+	}`
+	res := analyze(t, src, core.DefaultOptions(), 1)
+	loops := res.Graph.NaturalLoops(res.Graph.Dominators())
+	if len(loops) != 1 {
+		t.Fatalf("%d loops", len(loops))
+	}
+	costs := DefaultCosts()
+	per := NewWithBounds(res, costs, BoundOptions{
+		LoopBounds: map[ir.BlockID]int64{loops[0].Header: 5},
+	})
+	def := NewWithBounds(res, costs, BoundOptions{DefaultLoopBound: 5})
+	if per.WorstCaseCycles != def.WorstCaseCycles {
+		t.Errorf("per-header bound %d != default bound %d",
+			per.WorstCaseCycles, def.WorstCaseCycles)
+	}
+}
+
+func TestBoundedWCETWithPersistence(t *testing.T) {
+	// A data-dependent loop re-reading one table: the must analysis charges
+	// a miss per iteration; persistence knows it misses once.
+	src := `
+	int tbl[16];
+	int acc;
+	int main(int n) {
+		int i = 0;
+		while (i < n) {
+			acc = acc + tbl[i & 15];
+			i = i + 1;
+		}
+		return acc;
+	}`
+	opts := core.DefaultOptions()
+	opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 8}
+	res := analyze(t, src, opts, 1)
+	persist, err := core.AnalyzePersistence(res.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	costs := DefaultCosts()
+	bounds := BoundOptions{DefaultLoopBound: 100}
+	plain := NewWithBounds(res, costs, bounds)
+	bounds.Persistence = persist
+	withP := NewWithBounds(res, costs, bounds)
+	if plain.WorstCaseCycles <= 0 || withP.WorstCaseCycles <= 0 {
+		t.Fatalf("estimates: %d / %d", plain.WorstCaseCycles, withP.WorstCaseCycles)
+	}
+	// First-miss accounting should cut the bound dramatically: 100
+	// iterations of miss penalties collapse to one.
+	if withP.WorstCaseCycles >= plain.WorstCaseCycles {
+		t.Errorf("persistence did not improve the bound: %d vs %d",
+			withP.WorstCaseCycles, plain.WorstCaseCycles)
+	}
+	if withP.WorstCaseCycles*2 > plain.WorstCaseCycles {
+		t.Errorf("persistence improvement too small: %d vs %d",
+			withP.WorstCaseCycles, plain.WorstCaseCycles)
+	}
+}

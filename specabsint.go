@@ -1,0 +1,250 @@
+// Package specabsint is a static analyzer that makes abstract
+// interpretation sound under speculative execution, reproducing Wu & Wang,
+// "Abstract Interpretation under Speculative Execution" (PLDI 2019).
+//
+// The package compiles MiniC programs (a small C subset, see
+// internal/source) to an IR, augments the control flow with the paper's
+// virtual control flows (colored speculative lanes with rollback states and
+// just-in-time merging), and runs an LRU must/may cache analysis over them.
+// Two applications are built in: execution-time estimation and cache
+// side-channel detection. A concrete speculative CPU simulator provides
+// ground truth.
+//
+// Quick start:
+//
+//	prog, err := specabsint.Compile(src)
+//	report, err := specabsint.Analyze(prog, specabsint.DefaultConfig())
+//	fmt.Println(report.Misses, report.SpecMisses)
+package specabsint
+
+import (
+	"fmt"
+	"sort"
+
+	"specabsint/internal/cache"
+	"specabsint/internal/core"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+	"specabsint/internal/lower"
+	"specabsint/internal/machine"
+	"specabsint/internal/sidechannel"
+	"specabsint/internal/source"
+	"specabsint/internal/wcet"
+)
+
+// CacheConfig describes the modeled data cache geometry.
+type CacheConfig = layout.CacheConfig
+
+// PaperCache returns the paper's cache: 512 lines of 64 bytes, LRU,
+// fully associative.
+func PaperCache() CacheConfig { return layout.PaperConfig() }
+
+// Strategy selects how speculative states merge with normal ones (Fig. 6 of
+// the paper).
+type Strategy = core.Strategy
+
+// Merge strategies.
+const (
+	JustInTime       = core.StrategyJustInTime
+	MergeAtRollback  = core.StrategyMergeAtRollback
+	PerRollbackBlock = core.StrategyPerRollbackBlock
+)
+
+// Classification of one memory access.
+type Classification = cache.Classification
+
+// Access classifications.
+const (
+	Unknown    = cache.Unknown
+	AlwaysHit  = cache.AlwaysHit
+	AlwaysMiss = cache.AlwaysMiss
+)
+
+// WCETEstimate summarizes the timing analysis.
+type WCETEstimate = wcet.Estimate
+
+// CompiledProgram is a lowered MiniC program ready for analysis.
+type CompiledProgram struct {
+	prog *ir.Program
+}
+
+// IR exposes the compiled program's textual IR listing (for debugging).
+func (p *CompiledProgram) IR() string { return p.prog.String() }
+
+// Internal returns the internal IR program. It is exported for the
+// command-line tools and examples living in this module.
+func (p *CompiledProgram) Internal() *ir.Program { return p.prog }
+
+// Config configures the analysis.
+type Config struct {
+	// Cache is the modeled cache; defaults to the paper's 512 x 64 B LRU
+	// fully-associative cache.
+	Cache CacheConfig
+	// Speculative enables the speculation-aware analysis; disabling it
+	// yields the classic (unsound-under-speculation) baseline.
+	Speculative bool
+	// DepthMiss / DepthHit bound the speculation window in instructions
+	// (the paper's b_m / b_h).
+	DepthMiss int
+	DepthHit  int
+	// DynamicDepthBounding enables the §6.2 optimization.
+	DynamicDepthBounding bool
+	// Strategy selects the merge strategy (default JustInTime).
+	Strategy Strategy
+	// RefinedJoin enables the Appendix-B shadow-variable refinement.
+	RefinedJoin bool
+	// MaxUnroll caps full unrolling of constant-trip loops.
+	MaxUnroll int
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	o := core.DefaultOptions()
+	return Config{
+		Cache:                o.Cache,
+		Speculative:          true,
+		DepthMiss:            o.DepthMiss,
+		DepthHit:             o.DepthHit,
+		DynamicDepthBounding: o.DynamicDepthBounding,
+		Strategy:             o.Strategy,
+		RefinedJoin:          o.RefinedJoin,
+		MaxUnroll:            lower.DefaultOptions().MaxUnroll,
+	}
+}
+
+func (c Config) coreOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Cache = c.Cache
+	o.Speculative = c.Speculative
+	o.DepthMiss = c.DepthMiss
+	o.DepthHit = c.DepthHit
+	o.DynamicDepthBounding = c.DynamicDepthBounding
+	o.Strategy = c.Strategy
+	o.RefinedJoin = c.RefinedJoin
+	return o
+}
+
+// AccessReport describes one memory access in the analyzed program.
+type AccessReport struct {
+	Line  int
+	Store bool
+	// Symbol is the accessed variable.
+	Symbol string
+	// Class is the hit/miss verdict on architectural flows (normal
+	// execution including post-rollback pollution).
+	Class Classification
+	// SpecClass is the verdict on wrong-path executions; SpecReached is
+	// false when no speculative lane reaches the access.
+	SpecClass   Classification
+	SpecReached bool
+}
+
+// Report is a completed analysis.
+type Report struct {
+	// Accesses lists every architecturally reachable memory access, in
+	// source order.
+	Accesses []AccessReport
+	// Misses counts accesses not proved always-hit (the paper's #Miss).
+	Misses int
+	// SpecMisses counts wrong-path accesses not proved always-hit (#SpMiss).
+	SpecMisses int
+	// Branches and Iterations report analysis effort.
+	Branches   int
+	Iterations int
+	// WCET summarizes the timing estimate.
+	WCET WCETEstimate
+	// Leaks lists detected cache side channels (secret-indexed accesses
+	// with non-constant timing).
+	Leaks []string
+	// LeakDetected is true when Leaks is non-empty.
+	LeakDetected bool
+	// SpectreGadgets lists Spectre-v1 style transmission gadgets: accesses
+	// on speculative paths whose address may carry a value read out of
+	// bounds past a mis-speculated bounds check.
+	SpectreGadgets []string
+}
+
+// Compile parses and lowers MiniC source with the default configuration.
+func Compile(src string) (*CompiledProgram, error) {
+	return CompileWith(src, DefaultConfig())
+}
+
+// CompileWith parses and lowers MiniC source with explicit options.
+func CompileWith(src string, cfg Config) (*CompiledProgram, error) {
+	ast, err := source.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("specabsint: %w", err)
+	}
+	lopts := lower.DefaultOptions()
+	if cfg.MaxUnroll > 0 {
+		lopts.MaxUnroll = cfg.MaxUnroll
+	}
+	prog, err := lower.Lower(ast, lopts)
+	if err != nil {
+		return nil, fmt.Errorf("specabsint: %w", err)
+	}
+	return &CompiledProgram{prog: prog}, nil
+}
+
+// Analyze runs the speculation-aware cache analysis and both applications
+// (execution-time estimation and side-channel detection).
+func Analyze(p *CompiledProgram, cfg Config) (*Report, error) {
+	opts := cfg.coreOptions()
+	rep, err := sidechannel.Analyze(p.prog, opts)
+	if err != nil {
+		return nil, fmt.Errorf("specabsint: %w", err)
+	}
+	res := rep.Analysis
+	out := &Report{
+		Misses:       res.MissCount(),
+		SpecMisses:   res.SpecMissCount(),
+		Branches:     res.Branches,
+		Iterations:   res.Iterations,
+		WCET:         wcet.New(res, wcet.DefaultCosts()),
+		LeakDetected: rep.LeakDetected(),
+	}
+	for _, l := range rep.Leaks {
+		out.Leaks = append(out.Leaks, l.String())
+	}
+	for _, l := range rep.SpectreLeaks {
+		out.SpectreGadgets = append(out.SpectreGadgets, l.String())
+	}
+	ids := make([]int, 0, len(res.Access))
+	for id := range res.Access {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		info := res.Access[id]
+		spec, reached := res.SpecAccess[id]
+		out.Accesses = append(out.Accesses, AccessReport{
+			Line:        info.Instr.Line,
+			Store:       info.Instr.Op == ir.OpStore,
+			Symbol:      p.prog.Symbol(info.Instr.Sym).Name,
+			Class:       info.Class,
+			SpecClass:   spec,
+			SpecReached: reached,
+		})
+	}
+	return out, nil
+}
+
+// SimulationResult carries the concrete simulator's counters.
+type SimulationResult = machine.Stats
+
+// Simulate executes the program on the concrete speculative CPU simulator
+// with the same cache geometry and speculation windows as cfg. When
+// cfg.Speculative is set, every branch is mispredicted (worst-case
+// wrong-path pollution); otherwise speculation is disabled.
+func Simulate(p *CompiledProgram, cfg Config) (SimulationResult, error) {
+	mc := machine.DefaultConfig()
+	mc.Cache = cfg.Cache
+	mc.DepthMiss = cfg.DepthMiss
+	mc.DepthHit = cfg.DepthHit
+	mc.ForceMispredict = true
+	if !cfg.Speculative {
+		mc.DepthMiss, mc.DepthHit = 0, 0
+		mc.ForceMispredict = false
+	}
+	return machine.RunProgram(p.prog, mc)
+}

@@ -1,0 +1,149 @@
+package specabsint
+
+import (
+	"strings"
+	"testing"
+)
+
+const apiProgram = `
+int table[256];
+int l1[16]; int l2[16];
+char p;
+secret int key;
+int main() {
+	reg int i; reg int tmp;
+	tmp = 0;
+	for (i = 0; i < 256; i += 16) { tmp = tmp + table[i]; }
+	if (p == 0) { tmp = tmp + l1[0]; }
+	else { tmp = tmp - l2[0]; }
+	return tmp + table[key & 255];
+}`
+
+func tightConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cache = CacheConfig{LineSize: 64, NumSets: 1, Assoc: 19}
+	return cfg
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile("int main() { return oops; }"); err == nil {
+		t.Fatal("expected a compile error")
+	} else if !strings.Contains(err.Error(), "oops") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestAnalyzeSpeculativeVsBaseline(t *testing.T) {
+	prog, err := Compile(apiProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tightConfig()
+	spec, err := Analyze(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Speculative = false
+	base, err := Analyze(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.LeakDetected {
+		t.Error("speculative analysis should find the leak")
+	}
+	if base.LeakDetected {
+		t.Error("baseline should not find a leak")
+	}
+	if spec.Misses <= base.Misses {
+		t.Errorf("spec misses %d should exceed baseline %d", spec.Misses, base.Misses)
+	}
+	if len(spec.Accesses) != len(base.Accesses) {
+		t.Errorf("access counts differ: %d vs %d", len(spec.Accesses), len(base.Accesses))
+	}
+	if spec.WCET.WorstCaseCycles <= 0 {
+		t.Error("acyclic program should have a finite WCET bound")
+	}
+}
+
+func TestReportAccessesSorted(t *testing.T) {
+	prog, err := Compile(apiProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(prog, tightConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Accesses) == 0 {
+		t.Fatal("no accesses reported")
+	}
+	seenSpec := false
+	for _, a := range rep.Accesses {
+		if a.Symbol == "" {
+			t.Error("access without symbol name")
+		}
+		if a.SpecReached {
+			seenSpec = true
+		}
+	}
+	if !seenSpec {
+		t.Error("no access was reached speculatively despite a branch")
+	}
+}
+
+func TestSimulateMatchesAnalysisDirection(t *testing.T) {
+	prog, err := Compile(apiProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tightConfig()
+	spec, err := Simulate(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Speculative = false
+	base, err := Simulate(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-path execution may *prefetch* for the right path (fewer
+	// architectural misses) or pollute (more); counting the wrong-path
+	// traffic, the speculative run always does at least as much memory work.
+	if spec.Misses+spec.SpecMisses < base.Misses {
+		t.Errorf("speculative total misses %d+%d < baseline %d",
+			spec.Misses, spec.SpecMisses, base.Misses)
+	}
+	if spec.Rollbacks == 0 {
+		t.Error("forced misprediction should cause rollbacks")
+	}
+	if base.Mispredicts != 0 {
+		t.Errorf("baseline run should not mispredict, got %d", base.Mispredicts)
+	}
+}
+
+func TestIRListing(t *testing.T) {
+	prog, err := Compile("int x; int main() { return x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.IR(), "load x[0]") {
+		t.Errorf("IR listing missing load:\n%s", prog.IR())
+	}
+	if prog.Internal() == nil {
+		t.Error("Internal() returned nil")
+	}
+}
+
+func TestPaperCacheConstants(t *testing.T) {
+	c := PaperCache()
+	if c.Lines() != 512 || c.LineSize != 64 {
+		t.Errorf("paper cache = %v", c)
+	}
+	cfg := DefaultConfig()
+	if cfg.DepthMiss != 200 || cfg.DepthHit != 20 {
+		t.Errorf("default depths = %d/%d, want 200/20", cfg.DepthMiss, cfg.DepthHit)
+	}
+	if cfg.Strategy != JustInTime {
+		t.Errorf("default strategy = %v, want JIT", cfg.Strategy)
+	}
+}
