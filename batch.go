@@ -1,0 +1,102 @@
+package specabsint
+
+import (
+	"context"
+	"time"
+
+	"specabsint/internal/runner"
+)
+
+// BatchJob is one entry of an AnalyzeBatch request.
+type BatchJob struct {
+	// Name labels the job in results and aggregated errors. Optional but
+	// recommended; results also carry the job's index.
+	Name string
+	// Source is MiniC source, compiled through the batch's shared program
+	// cache — repeated jobs over the same source (e.g. a strategy sweep)
+	// parse and lower once. Ignored when Prog is set.
+	Source string
+	// Prog, when non-nil, is analyzed directly.
+	Prog *CompiledProgram
+	// Options are per-job overrides, applied after the batch-level options.
+	Options []Option
+}
+
+// BatchResult is one completed batch job.
+type BatchResult struct {
+	// Index is the job's position in the submitted slice; results from
+	// AnalyzeBatch are already in index order.
+	Index int
+	// Name echoes the job's label.
+	Name string
+	// Report is the completed analysis; nil when Err is set.
+	Report *Report
+	// Elapsed is the job's wall-clock time (compile + analysis).
+	Elapsed time.Duration
+	// Err is the job's failure: a compile or analysis error (errors.As
+	// reaches *ParseError), or a cancellation satisfying
+	// errors.Is(err, ErrCanceled).
+	Err error
+}
+
+// AnalyzeBatch fans the jobs out across GOMAXPROCS workers and returns one
+// result per job, in job order. Batch-level opts configure every job;
+// per-job BatchJob.Options override them. Failures are isolated per job —
+// panics included — and do not stop the rest of the batch; the returned
+// error is nil when every job succeeded, and a *BatchError aggregating the
+// per-job failures otherwise. Cancelling ctx stops running fixpoints at
+// their next iteration and fails the remaining jobs with ErrCanceled.
+//
+// Analysis results are deterministic: a batch produces exactly the reports
+// the equivalent serial AnalyzeContext calls would.
+func AnalyzeBatch(ctx context.Context, jobs []BatchJob, opts ...Option) ([]BatchResult, error) {
+	pool := runner.New(0)
+	rjobs := make([]runner.Job, len(jobs))
+	for i, j := range jobs {
+		cfg := newConfig(opts)
+		for _, o := range j.Options {
+			if o != nil {
+				o(&cfg)
+			}
+		}
+		rj := runner.Job{
+			Name:      j.Name,
+			Source:    j.Source,
+			MaxUnroll: cfg.MaxUnroll,
+			Opts:      cfg.coreOptions(),
+			Mode:      runner.ModeSideChannel,
+		}
+		if j.Prog != nil {
+			rj.Prog = j.Prog.prog
+		}
+		rjobs[i] = rj
+	}
+	results := make([]BatchResult, len(jobs))
+	for _, r := range pool.RunAll(ctx, rjobs) {
+		br := BatchResult{Index: r.Index, Name: r.Name, Elapsed: r.Elapsed}
+		if r.Err != nil {
+			br.Err = wrapErr(r.Err)
+		} else {
+			br.Report = buildReport(r.Prog, r.Leaks)
+		}
+		results[r.Index] = br
+	}
+	// Aggregate failures in job order, deterministic however the workers
+	// interleaved.
+	var batchErr *BatchError
+	for _, br := range results {
+		if br.Err == nil {
+			continue
+		}
+		if batchErr == nil {
+			batchErr = &BatchError{}
+		}
+		batchErr.Failures = append(batchErr.Failures, JobFailure{
+			Index: br.Index, Name: br.Name, Err: br.Err,
+		})
+	}
+	if batchErr != nil {
+		return results, batchErr
+	}
+	return results, nil
+}

@@ -11,6 +11,7 @@ package specabsint
 // tests in internal/experiments.
 
 import (
+	"context"
 	"testing"
 
 	"specabsint/internal/bench"
@@ -204,7 +205,7 @@ func BenchmarkLeakThreshold(b *testing.B) {
 	bm, _ := bench.ByName("hash")
 	setup := experiments.PaperSetup()
 	for i := 0; i < b.N; i++ {
-		if _, found, err := experiments.FindLeakThreshold(bm, setup); err != nil || !found {
+		if _, found, err := experiments.FindLeakThreshold(context.Background(), bm, setup); err != nil || !found {
 			b.Fatalf("found=%v err=%v", found, err)
 		}
 	}

@@ -12,7 +12,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,7 @@ func main() {
 		bh       = flag.Int("bh", 20, "speculation depth after a hitting condition (instructions)")
 		nonspec  = flag.Bool("nonspec", false, "run the classic non-speculative analysis instead")
 		strategy = flag.String("strategy", "jit", "merge strategy: jit, rollback, partition")
+		timeout  = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
 		sim      = flag.Bool("sim", false, "also run the concrete speculative simulator")
 		verbose  = flag.Bool("v", false, "print every access verdict")
 		asJSON   = flag.Bool("json", false, "emit the full report as JSON")
@@ -44,29 +47,53 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := specabsint.DefaultConfig()
-	cfg.Cache = specabsint.CacheConfig{LineSize: *lineSize, NumSets: *sets, Assoc: *lines / *sets}
-	cfg.DepthMiss = *bm
-	cfg.DepthHit = *bh
-	cfg.Speculative = !*nonspec
+	var strat specabsint.Strategy
 	switch *strategy {
 	case "jit":
-		cfg.Strategy = specabsint.JustInTime
+		strat = specabsint.JustInTime
 	case "rollback":
-		cfg.Strategy = specabsint.MergeAtRollback
+		strat = specabsint.MergeAtRollback
 	case "partition":
-		cfg.Strategy = specabsint.PerRollbackBlock
+		strat = specabsint.PerRollbackBlock
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
+	opts := []specabsint.Option{
+		specabsint.WithCache(specabsint.CacheConfig{LineSize: *lineSize, NumSets: *sets, Assoc: *lines / *sets}),
+		specabsint.WithDepths(*bm, *bh),
+		specabsint.WithSpeculation(!*nonspec),
+		specabsint.WithStrategy(strat),
+	}
 
-	prog, err := specabsint.Compile(string(src))
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	prog, err := specabsint.CompileOpts(string(src), opts...)
 	if err != nil {
+		// Surface the exact source position for front-end diagnostics.
+		var perr *specabsint.ParseError
+		if errors.As(err, &perr) {
+			fmt.Fprintf(os.Stderr, "specanalyze: %s:%d:%d: %s\n",
+				flag.Arg(0), perr.Line(), perr.Col(), perr.Msg)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
-	rep, err := specabsint.Analyze(prog, cfg)
+	rep, err := specabsint.AnalyzeContext(ctx, prog, opts...)
 	if err != nil {
+		if errors.Is(err, specabsint.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "specanalyze: analysis exceeded %v\n", *timeout)
+			os.Exit(130)
+		}
 		fatal(err)
+	}
+	cfg := specabsint.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
 	}
 	if *asJSON {
 		out, err := json.MarshalIndent(rep, "", "  ")

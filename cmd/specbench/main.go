@@ -4,22 +4,43 @@
 //
 // Usage:
 //
-//	specbench [-experiment all|fig2|table3|table4|table5|table6|table7|depth]
+//	specbench [-experiment all|fig2|table3|table4|table5|table6|table7|depth] [-workers N] [-timeout d]
+//
+// The corpus sweeps fan out across -workers CPUs on a shared batch engine
+// (one compile per benchmark for the whole run); per-program results are
+// identical to the serial path. Ctrl-C or -timeout cancels the running
+// fixpoints mid-iteration.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"specabsint/internal/experiments"
+	"specabsint/internal/runner"
 )
 
 func main() {
 	which := flag.String("experiment", "all", "which experiment to run: all, fig2, table3, table4, table5, table6, table7, depth, icache, geometry")
+	workers := flag.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
 	setup := experiments.PaperSetup()
+	setup.Workers = *workers
+	setup.Pool = runner.New(*workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	run := func(name string, fn func() error) {
 		if *which != "all" && *which != name {
@@ -27,6 +48,11 @@ func main() {
 		}
 		start := time.Now()
 		if err := fn(); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "specbench: %s: canceled after %v\n",
+					name, time.Since(start).Round(time.Millisecond))
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "specbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -40,12 +66,12 @@ func main() {
 	run("table4", func() error {
 		return stats("Table 4 — side channel detection: benchmark statistics", experiments.Table4())
 	})
-	run("table5", func() error { return table5(setup) })
-	run("table6", func() error { return table6(setup) })
-	run("table7", func() error { return table7(setup) })
-	run("depth", func() error { return depth(setup) })
-	run("icache", func() error { return icache(setup) })
-	run("geometry", func() error { return geometry(setup) })
+	run("table5", func() error { return table5(ctx, setup) })
+	run("table6", func() error { return table6(ctx, setup) })
+	run("table7", func() error { return table7(ctx, setup) })
+	run("depth", func() error { return depth(ctx, setup) })
+	run("icache", func() error { return icache(ctx, setup) })
+	run("geometry", func() error { return geometry(ctx, setup) })
 }
 
 func fig2(setup experiments.Setup) error {
@@ -72,8 +98,8 @@ func stats(title string, rows []experiments.StatRow) error {
 	return nil
 }
 
-func table5(setup experiments.Setup) error {
-	rows, err := experiments.Table5(setup)
+func table5(ctx context.Context, setup experiments.Setup) error {
+	rows, err := experiments.Table5(ctx, setup)
 	if err != nil {
 		return err
 	}
@@ -93,8 +119,8 @@ func table5(setup experiments.Setup) error {
 	return nil
 }
 
-func table6(setup experiments.Setup) error {
-	rows, err := experiments.Table6(setup)
+func table6(ctx context.Context, setup experiments.Setup) error {
+	rows, err := experiments.Table6(ctx, setup)
 	if err != nil {
 		return err
 	}
@@ -115,8 +141,8 @@ func table6(setup experiments.Setup) error {
 	return nil
 }
 
-func table7(setup experiments.Setup) error {
-	rows, err := experiments.Table7(setup)
+func table7(ctx context.Context, setup experiments.Setup) error {
+	rows, err := experiments.Table7(ctx, setup)
 	if err != nil {
 		return err
 	}
@@ -135,8 +161,8 @@ func table7(setup experiments.Setup) error {
 	return nil
 }
 
-func depth(setup experiments.Setup) error {
-	rows, err := experiments.DepthAblation(setup)
+func depth(ctx context.Context, setup experiments.Setup) error {
+	rows, err := experiments.DepthAblation(ctx, setup)
 	if err != nil {
 		return err
 	}
@@ -155,9 +181,9 @@ func depth(setup experiments.Setup) error {
 	return nil
 }
 
-func icache(setup experiments.Setup) error {
+func icache(ctx context.Context, setup experiments.Setup) error {
 	const lines = 16
-	rows, err := experiments.ICacheTable(lines, setup)
+	rows, err := experiments.ICacheTable(ctx, lines, setup)
 	if err != nil {
 		return err
 	}
@@ -174,9 +200,9 @@ func icache(setup experiments.Setup) error {
 	return nil
 }
 
-func geometry(setup experiments.Setup) error {
+func geometry(ctx context.Context, setup experiments.Setup) error {
 	lineCounts := []int{8, 16, 32, 64, 128, 256, 512}
-	rows, err := experiments.GeometrySweep("g72", lineCounts, setup)
+	rows, err := experiments.GeometrySweep(ctx, "g72", lineCounts, setup)
 	if err != nil {
 		return err
 	}

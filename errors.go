@@ -1,0 +1,81 @@
+package specabsint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"specabsint/internal/source"
+)
+
+// ParseError is a MiniC front-end diagnostic with its source position.
+// Compilation errors returned by CompileOpts (and the legacy Compile
+// wrappers) satisfy errors.As for *ParseError through the package's
+// "specabsint:" wrapping, so callers can recover the exact line and column:
+//
+//	var perr *specabsint.ParseError
+//	if errors.As(err, &perr) {
+//		fmt.Printf("%d:%d: %s\n", perr.Line(), perr.Col(), perr.Msg)
+//	}
+type ParseError = source.ParseError
+
+// ErrCanceled marks analyses stopped by context cancellation or deadline
+// expiry. Errors returned from AnalyzeContext and AnalyzeBatch under a
+// canceled context satisfy errors.Is(err, ErrCanceled) as well as
+// errors.Is(err, ctx.Err()).
+var ErrCanceled = errors.New("specabsint: analysis canceled")
+
+// JobFailure is one failed job inside a BatchError.
+type JobFailure struct {
+	// Index is the job's position in the submitted batch.
+	Index int
+	// Name echoes the job's label.
+	Name string
+	// Err is the job's failure; it preserves the typed error chain
+	// (*ParseError, ErrCanceled, *runner.PanicError).
+	Err error
+}
+
+// BatchError aggregates the per-job failures of an AnalyzeBatch call whose
+// successful jobs still completed. It unwraps to every underlying failure,
+// so errors.Is / errors.As reach through to the typed per-job errors.
+type BatchError struct {
+	Failures []JobFailure
+}
+
+// Error summarizes the failures.
+func (e *BatchError) Error() string {
+	if len(e.Failures) == 1 {
+		f := e.Failures[0]
+		return fmt.Sprintf("specabsint: batch job %q failed: %v", f.Name, f.Err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "specabsint: %d batch jobs failed:", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, "\n  %q: %v", f.Name, f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes every per-job failure to errors.Is and errors.As.
+func (e *BatchError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f.Err
+	}
+	return errs
+}
+
+// wrapErr applies the package's error discipline: analysis errors gain the
+// "specabsint:" prefix while keeping their typed chain intact, and
+// cancellation is additionally marked with ErrCanceled.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return fmt.Errorf("specabsint: %w", err)
+}

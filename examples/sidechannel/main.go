@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	fmt.Println()
-	size, found, err := experiments.FindLeakThreshold(kernel, setup)
+	size, found, err := experiments.FindLeakThreshold(context.Background(), kernel, setup)
 	if err != nil {
 		log.Fatal(err)
 	}

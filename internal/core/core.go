@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"specabsint/internal/cache"
@@ -213,12 +214,15 @@ func (r *Result) IndexIntervals() *interval.Result { return r.idx }
 
 // Analyze runs the (speculative) abstract interpretation on prog.
 func Analyze(prog *ir.Program, opts Options) (*Result, error) {
-	if opts.DepthMiss < 0 || opts.DepthHit < 0 {
-		return nil, fmt.Errorf("core: speculation depths must be non-negative")
-	}
-	if opts.DepthHit > opts.DepthMiss {
-		return nil, fmt.Errorf("core: DepthHit (%d) must not exceed DepthMiss (%d)",
-			opts.DepthHit, opts.DepthMiss)
+	return AnalyzeContext(context.Background(), prog, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: the fixpoint loop polls ctx
+// between worklist iterations and returns ctx.Err() once it is done. The
+// analysis itself is pure, so a canceled run leaves no state behind.
+func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
+	if err := validateDepths(opts); err != nil {
+		return nil, err
 	}
 	l, err := layout.New(prog, opts.Cache)
 	if err != nil {
@@ -227,8 +231,21 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 	g := cfg.New(prog)
 	idx := interval.Analyze(g)
 	e := newEngine(prog, g, l, idx, opts)
-	e.run()
+	if err := e.run(ctx); err != nil {
+		return nil, err
+	}
 	return e.result(), nil
+}
+
+func validateDepths(opts Options) error {
+	if opts.DepthMiss < 0 || opts.DepthHit < 0 {
+		return fmt.Errorf("core: speculation depths must be non-negative")
+	}
+	if opts.DepthHit > opts.DepthMiss {
+		return fmt.Errorf("core: DepthHit (%d) must not exceed DepthMiss (%d)",
+			opts.DepthHit, opts.DepthMiss)
+	}
+	return nil
 }
 
 // resolveAccess maps a memory instruction to its candidate cache blocks

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"specabsint/internal/cache"
 	"specabsint/internal/cfg"
@@ -190,14 +191,27 @@ func (e *engine) enqueue(b ir.BlockID) {
 	}
 }
 
-func (e *engine) run() {
+// ctxCheckInterval is how many worklist pops pass between context polls.
+// One poll is a channel select — cheap, but not free on a loop that runs
+// millions of times on large unrolled programs.
+const ctxCheckInterval = 256
+
+func (e *engine) run(ctx context.Context) error {
 	e.enqueue(e.prog.Entry)
 	for e.heap.Len() > 0 {
+		if e.iter%ctxCheckInterval == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
 		b := heap.Pop(&e.heap).(ir.BlockID)
 		e.inWork[b] = false
 		e.iter++
 		e.process(b)
 	}
+	return nil
 }
 
 // dataAccessMaps resolves every Load/Store to its candidate blocks: the

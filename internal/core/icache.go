@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"specabsint/internal/cache"
 	"specabsint/internal/cfg"
@@ -22,8 +22,14 @@ import (
 // *data*-cache residency of the branch condition, which this analysis does
 // not track, so the conservative b_m window is used throughout.
 func AnalyzeInstructionCache(prog *ir.Program, opts Options) (*Result, error) {
-	if opts.DepthMiss < 0 || opts.DepthHit < 0 {
-		return nil, fmt.Errorf("core: speculation depths must be non-negative")
+	return AnalyzeInstructionCacheContext(context.Background(), prog, opts)
+}
+
+// AnalyzeInstructionCacheContext is AnalyzeInstructionCache with
+// cancellation.
+func AnalyzeInstructionCacheContext(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
+	if err := validateDepths(opts); err != nil {
+		return nil, err
 	}
 	codeL, fetchBlocks, err := layout.CodeLayout(prog, opts.Cache)
 	if err != nil {
@@ -45,6 +51,8 @@ func AnalyzeInstructionCache(prog *ir.Program, opts Options) (*Result, error) {
 	}
 	e.access = fetch
 	e.accessSpec = fetch
-	e.run()
+	if err := e.run(ctx); err != nil {
+		return nil, err
+	}
 	return e.result(), nil
 }

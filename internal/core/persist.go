@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"specabsint/internal/cfg"
 	"specabsint/internal/interval"
@@ -18,12 +18,13 @@ import (
 // exactly as in the must analysis, so the verdicts remain sound under
 // speculation.
 func AnalyzePersistence(prog *ir.Program, opts Options) (*Result, error) {
-	if opts.DepthMiss < 0 || opts.DepthHit < 0 {
-		return nil, fmt.Errorf("core: speculation depths must be non-negative")
-	}
-	if opts.DepthHit > opts.DepthMiss {
-		return nil, fmt.Errorf("core: DepthHit (%d) must not exceed DepthMiss (%d)",
-			opts.DepthHit, opts.DepthMiss)
+	return AnalyzePersistenceContext(context.Background(), prog, opts)
+}
+
+// AnalyzePersistenceContext is AnalyzePersistence with cancellation.
+func AnalyzePersistenceContext(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
+	if err := validateDepths(opts); err != nil {
+		return nil, err
 	}
 	l, err := layout.New(prog, opts.Cache)
 	if err != nil {
@@ -37,6 +38,8 @@ func AnalyzePersistence(prog *ir.Program, opts Options) (*Result, error) {
 	e := newEngine(prog, g, l, idx, opts)
 	e.dom.Persist = true
 	e.dom.Refined = false // the NYoung refinement is a must-analysis rule
-	e.run()
+	if err := e.run(ctx); err != nil {
+		return nil, err
+	}
 	return e.result(), nil
 }

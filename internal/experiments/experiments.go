@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -17,7 +18,7 @@ import (
 	"specabsint/internal/ir"
 	"specabsint/internal/layout"
 	"specabsint/internal/machine"
-	"specabsint/internal/sidechannel"
+	"specabsint/internal/runner"
 )
 
 // Setup fixes the experimental configuration (the paper's §7 defaults).
@@ -26,6 +27,20 @@ type Setup struct {
 	DepthMiss int
 	DepthHit  int
 	MaxUnroll int
+	// Workers caps the sweep concurrency; 0 uses GOMAXPROCS.
+	Workers int
+	// Pool, when non-nil, is the shared batch engine (worker pool plus
+	// compiled-program cache) the sweeps run on. Sharing one pool across
+	// tables lets a full specbench run lower each benchmark exactly once.
+	Pool *runner.Pool
+}
+
+// pool returns the shared batch engine, creating a private one on demand.
+func (s Setup) pool() *runner.Pool {
+	if s.Pool != nil {
+		return s.Pool
+	}
+	return runner.New(s.Workers)
 }
 
 // PaperSetup returns the configuration used in the paper: 512 lines x 64 B,
@@ -83,36 +98,53 @@ type Table5Row struct {
 	Iterations  int
 }
 
-// Table5 regenerates the execution-time estimation comparison.
-func Table5(setup Setup) ([]Table5Row, error) {
-	var rows []Table5Row
-	for _, b := range bench.WCETBenchmarks() {
-		prog, err := bench.Compile(b.Code, setup.MaxUnroll)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		row := Table5Row{Name: b.Name, Branches: prog.CondBranchCount()}
-
-		start := time.Now()
-		base, err := core.Analyze(prog, setup.options(false))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		row.NonSpecTime = time.Since(start)
-		row.NonSpecMiss = base.MissCount()
-
-		start = time.Now()
-		spec, err := core.Analyze(prog, setup.options(true))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		row.SpecTime = time.Since(start)
-		row.SpecMiss = spec.MissCount()
-		row.SpecSpMiss = spec.SpecMissCount()
-		row.Iterations = spec.Iterations
-		rows = append(rows, row)
+// Table5 regenerates the execution-time estimation comparison. The per-
+// benchmark (non-speculative, speculative) analysis pairs run concurrently
+// on the setup's pool; rows come back in corpus order regardless of which
+// worker finished first.
+func Table5(ctx context.Context, setup Setup) ([]Table5Row, error) {
+	benches := bench.WCETBenchmarks()
+	var jobs []runner.Job
+	for _, b := range benches {
+		jobs = append(jobs, setup.job(b.Name+"/nonspec", b.Code, setup.options(false)))
+		jobs = append(jobs, setup.job(b.Name+"/spec", b.Code, setup.options(true)))
+	}
+	results, err := collect(setup.pool().RunAll(ctx, jobs))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table5Row, 0, len(benches))
+	for i, b := range benches {
+		base, spec := results[2*i], results[2*i+1]
+		rows = append(rows, Table5Row{
+			Name:        b.Name,
+			Branches:    spec.Analysis.Branches,
+			NonSpecTime: base.Elapsed,
+			NonSpecMiss: base.Analysis.MissCount(),
+			SpecTime:    spec.Elapsed,
+			SpecMiss:    spec.Analysis.MissCount(),
+			SpecSpMiss:  spec.Analysis.SpecMissCount(),
+			Iterations:  spec.Analysis.Iterations,
+		})
 	}
 	return rows, nil
+}
+
+// job builds a pool job for one benchmark source under one option set.
+func (s Setup) job(name, code string, opts core.Options) runner.Job {
+	return runner.Job{Name: name, Source: code, MaxUnroll: s.MaxUnroll, Opts: opts}
+}
+
+// collect fails a whole sweep on the first per-job error — the experiment
+// tables are all-or-nothing — while keeping the job-order determinism of
+// RunAll.
+func collect(results []runner.Result) ([]runner.Result, error) {
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+	}
+	return results, nil
 }
 
 // Table6Row compares merge strategies on one benchmark (Table 6 columns).
@@ -129,38 +161,37 @@ type Table6Row struct {
 }
 
 // Table6 regenerates the merging-strategy comparison (Fig. 6d vs Fig. 6c).
-func Table6(setup Setup) ([]Table6Row, error) {
-	var rows []Table6Row
-	for _, b := range bench.WCETBenchmarks() {
-		prog, err := bench.Compile(b.Code, setup.MaxUnroll)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		row := Table6Row{Name: b.Name}
-
-		opts := setup.options(true)
-		opts.Strategy = core.StrategyMergeAtRollback
-		start := time.Now()
-		rb, err := core.Analyze(prog, opts)
-		if err != nil {
-			return nil, err
-		}
-		row.RollbackTime = time.Since(start)
-		row.RollbackMiss = rb.MissCount()
-		row.RollbackSpMiss = rb.SpecMissCount()
-		row.RollbackIter = rb.Iterations
-
-		opts.Strategy = core.StrategyJustInTime
-		start = time.Now()
-		jit, err := core.Analyze(prog, opts)
-		if err != nil {
-			return nil, err
-		}
-		row.JITTime = time.Since(start)
-		row.JITMiss = jit.MissCount()
-		row.JITSpMiss = jit.SpecMissCount()
-		row.JITIter = jit.Iterations
-		rows = append(rows, row)
+// Thanks to the pool's compile cache, each benchmark is lowered once and
+// analyzed under both strategies concurrently.
+func Table6(ctx context.Context, setup Setup) ([]Table6Row, error) {
+	benches := bench.WCETBenchmarks()
+	var jobs []runner.Job
+	for _, b := range benches {
+		rbOpts := setup.options(true)
+		rbOpts.Strategy = core.StrategyMergeAtRollback
+		jitOpts := setup.options(true)
+		jitOpts.Strategy = core.StrategyJustInTime
+		jobs = append(jobs, setup.job(b.Name+"/rollback", b.Code, rbOpts))
+		jobs = append(jobs, setup.job(b.Name+"/jit", b.Code, jitOpts))
+	}
+	results, err := collect(setup.pool().RunAll(ctx, jobs))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table6Row, 0, len(benches))
+	for i, b := range benches {
+		rb, jit := results[2*i], results[2*i+1]
+		rows = append(rows, Table6Row{
+			Name:           b.Name,
+			RollbackTime:   rb.Elapsed,
+			RollbackMiss:   rb.Analysis.MissCount(),
+			RollbackSpMiss: rb.Analysis.SpecMissCount(),
+			RollbackIter:   rb.Analysis.Iterations,
+			JITTime:        jit.Elapsed,
+			JITMiss:        jit.Analysis.MissCount(),
+			JITSpMiss:      jit.Analysis.SpecMissCount(),
+			JITIter:        jit.Analysis.Iterations,
+		})
 	}
 	return rows, nil
 }
@@ -179,17 +210,17 @@ type Table7Row struct {
 // kernel the client buffer size is swept (as in §7.3, from 32 KB down)
 // until the two methods diverge; kernels with no diverging size are
 // reported at the full 32 KB buffer.
-func Table7(setup Setup) ([]Table7Row, error) {
+func Table7(ctx context.Context, setup Setup) ([]Table7Row, error) {
 	var rows []Table7Row
 	for _, b := range bench.CryptoBenchmarks() {
-		size, found, err := FindLeakThreshold(b, setup)
+		size, found, err := FindLeakThreshold(ctx, b, setup)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		if !found {
 			size = setup.Cache.SizeBytes()
 		}
-		row, err := table7At(b, size, setup)
+		row, err := table7At(ctx, b, size, setup)
 		if err != nil {
 			return nil, err
 		}
@@ -198,27 +229,55 @@ func Table7(setup Setup) ([]Table7Row, error) {
 	return rows, nil
 }
 
-func table7At(b bench.Benchmark, bufBytes int, setup Setup) (Table7Row, error) {
-	prog, err := bench.Compile(bench.WithClient(b, bufBytes), setup.MaxUnroll)
+func table7At(ctx context.Context, b bench.Benchmark, bufBytes int, setup Setup) (Table7Row, error) {
+	line := setup.Cache.LineSize
+	v, elapsed, err := probeSizes(ctx, b, setup, []int{(bufBytes + line - 1) / line})
 	if err != nil {
 		return Table7Row{}, err
 	}
-	row := Table7Row{Name: b.Name, BufferBytes: bufBytes}
-	start := time.Now()
-	nonspec, err := sidechannel.Analyze(prog, setup.options(false))
-	if err != nil {
-		return Table7Row{}, err
+	return Table7Row{
+		Name:        b.Name,
+		BufferBytes: bufBytes,
+		NonSpecTime: elapsed[0].non,
+		NonSpecLeak: v[0].non,
+		SpecTime:    elapsed[0].spec,
+		SpecLeak:    v[0].spec,
+	}, nil
+}
+
+// probeVerdict is the (speculative, non-speculative) leak verdict at one
+// buffer size.
+type probeVerdict struct{ spec, non bool }
+
+type probeTiming struct{ spec, non time.Duration }
+
+// probeSizes analyzes the benchmark's client at each buffer size (in cache
+// lines) under both analyses, fanning the 2*len(sizes) jobs out on the
+// setup's pool. Verdicts come back indexed like sizes.
+func probeSizes(ctx context.Context, b bench.Benchmark, setup Setup, sizes []int) ([]probeVerdict, []probeTiming, error) {
+	line := setup.Cache.LineSize
+	var jobs []runner.Job
+	for _, s := range sizes {
+		code := bench.WithClient(b, s*line)
+		for _, speculative := range []bool{true, false} {
+			j := setup.job(fmt.Sprintf("%s@%dL/spec=%v", b.Name, s, speculative),
+				code, setup.options(speculative))
+			j.Mode = runner.ModeSideChannel
+			jobs = append(jobs, j)
+		}
 	}
-	row.NonSpecTime = time.Since(start)
-	row.NonSpecLeak = nonspec.LeakDetected()
-	start = time.Now()
-	spec, err := sidechannel.Analyze(prog, setup.options(true))
+	results, err := collect(setup.pool().RunAll(ctx, jobs))
 	if err != nil {
-		return Table7Row{}, err
+		return nil, nil, err
 	}
-	row.SpecTime = time.Since(start)
-	row.SpecLeak = spec.LeakDetected()
-	return row, nil
+	verdicts := make([]probeVerdict, len(sizes))
+	timings := make([]probeTiming, len(sizes))
+	for i := range sizes {
+		spec, non := results[2*i], results[2*i+1]
+		verdicts[i] = probeVerdict{spec: spec.Leaks.LeakDetected(), non: non.Leaks.LeakDetected()}
+		timings[i] = probeTiming{spec: spec.Elapsed, non: non.Elapsed}
+	}
+	return verdicts, timings, nil
 }
 
 // FindLeakThreshold sweeps the client buffer size and returns the smallest
@@ -232,23 +291,23 @@ func table7At(b bench.Benchmark, bufBytes int, setup Setup) (Table7Row, error) {
 // working-set lines). A narrow scan around that estimate finds the exact
 // point; a coarse full sweep is the fallback for kernels with unusual
 // structure.
-func FindLeakThreshold(b bench.Benchmark, setup Setup) (size int, found bool, err error) {
+func FindLeakThreshold(ctx context.Context, b bench.Benchmark, setup Setup) (size int, found bool, err error) {
 	line := setup.Cache.LineSize
 	maxLines := setup.Cache.Lines()
-	probe := func(bufLines int) (specLeak, nonLeak bool, err error) {
-		row, err := table7At(b, bufLines*line, setup)
-		if err != nil {
-			return false, false, err
-		}
-		return row.SpecLeak, row.NonSpecLeak, nil
+	probeAll := func(sizes []int) ([]probeVerdict, error) {
+		v, _, err := probeSizes(ctx, b, setup, sizes)
+		return v, err
 	}
 
-	guess, err := workingSetLines(b, setup)
+	guess, err := workingSetLines(ctx, b, setup)
 	if err != nil {
 		return 0, false, err
 	}
 	// The minimal client already carries one buffer line; the window around
 	// (cache − workingSet) covers layout rounding and the wrong-path lines.
+	// The whole window is probed as one batch: the probes are independent,
+	// and scanning the verdicts in ascending size order afterwards returns
+	// the same threshold the serial scan did.
 	center := maxLines - guess
 	lo, hi := center-12, center+12
 	if lo < 0 {
@@ -257,27 +316,33 @@ func FindLeakThreshold(b bench.Benchmark, setup Setup) (size int, found bool, er
 	if hi > maxLines {
 		hi = maxLines
 	}
+	var window []int
 	for s := lo; s <= hi; s++ {
-		spec, non, err := probe(s)
-		if err != nil {
-			return 0, false, err
-		}
-		if spec && !non {
+		window = append(window, s)
+	}
+	verdicts, err := probeAll(window)
+	if err != nil {
+		return 0, false, err
+	}
+	for i, s := range window {
+		if verdicts[i].spec && !verdicts[i].non {
 			return s * line, true, nil
 		}
 	}
 	// Fallback: binary search for the onset of the speculative leak.
 	// Below the full-eviction regime the speculative verdict is monotone in
-	// the buffer size, so the smallest leaking size is well-defined.
+	// the buffer size, so the smallest leaking size is well-defined. The
+	// probes here are inherently sequential (each depends on the previous
+	// verdict), so they run one at a time.
 	loS, hiS := 0, maxLines
 	onset := -1
 	for loS <= hiS {
 		mid := (loS + hiS) / 2
-		spec, _, err := probe(mid)
+		v, err := probeAll([]int{mid})
 		if err != nil {
 			return 0, false, err
 		}
-		if spec {
+		if v[0].spec {
 			onset = mid
 			hiS = mid - 1
 		} else {
@@ -287,13 +352,18 @@ func FindLeakThreshold(b bench.Benchmark, setup Setup) (size int, found bool, er
 	if onset < 0 {
 		return 0, false, nil
 	}
-	// The window [spec onset, non-spec onset) may span a few lines; walk it.
+	// The window [spec onset, non-spec onset) may span a few lines; walk it
+	// as one final batch.
+	var tail []int
 	for s := onset; s <= onset+8 && s <= maxLines; s++ {
-		spec, non, err := probe(s)
-		if err != nil {
-			return 0, false, err
-		}
-		if spec && !non {
+		tail = append(tail, s)
+	}
+	verdicts, err = probeAll(tail)
+	if err != nil {
+		return 0, false, err
+	}
+	for i, s := range tail {
+		if verdicts[i].spec && !verdicts[i].non {
 			return s * line, true, nil
 		}
 	}
@@ -303,12 +373,12 @@ func FindLeakThreshold(b bench.Benchmark, setup Setup) (size int, found bool, er
 // workingSetLines estimates the distinct cache lines the client+kernel touch
 // besides the attacker buffer, by compiling with a minimal buffer and
 // collecting the candidate blocks of every architectural access.
-func workingSetLines(b bench.Benchmark, setup Setup) (int, error) {
+func workingSetLines(ctx context.Context, b bench.Benchmark, setup Setup) (int, error) {
 	prog, err := bench.Compile(bench.WithClient(b, 64), setup.MaxUnroll)
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Analyze(prog, setup.options(false))
+	res, err := core.AnalyzeContext(ctx, prog, setup.options(false))
 	if err != nil {
 		return 0, err
 	}
@@ -416,36 +486,34 @@ type DepthRow struct {
 }
 
 // DepthAblation compares the speculative analysis with and without the
-// §6.2 dynamic speculation-depth bounding.
-func DepthAblation(setup Setup) ([]DepthRow, error) {
-	var rows []DepthRow
-	for _, b := range bench.WCETBenchmarks() {
-		prog, err := bench.Compile(b.Code, setup.MaxUnroll)
-		if err != nil {
-			return nil, err
-		}
-		row := DepthRow{Name: b.Name}
-		opts := setup.options(true)
-		opts.DynamicDepthBounding = true
-		start := time.Now()
-		on, err := core.Analyze(prog, opts)
-		if err != nil {
-			return nil, err
-		}
-		row.BoundedTime = time.Since(start)
-		row.BoundedMiss = on.MissCount()
-		row.BoundedIter = on.Iterations
-
-		opts.DynamicDepthBounding = false
-		start = time.Now()
-		off, err := core.Analyze(prog, opts)
-		if err != nil {
-			return nil, err
-		}
-		row.UnboundedTime = time.Since(start)
-		row.UnboundedMiss = off.MissCount()
-		row.UnboundedIter = off.Iterations
-		rows = append(rows, row)
+// §6.2 dynamic speculation-depth bounding, batched on the setup's pool.
+func DepthAblation(ctx context.Context, setup Setup) ([]DepthRow, error) {
+	benches := bench.WCETBenchmarks()
+	var jobs []runner.Job
+	for _, b := range benches {
+		onOpts := setup.options(true)
+		onOpts.DynamicDepthBounding = true
+		offOpts := setup.options(true)
+		offOpts.DynamicDepthBounding = false
+		jobs = append(jobs, setup.job(b.Name+"/bounded", b.Code, onOpts))
+		jobs = append(jobs, setup.job(b.Name+"/unbounded", b.Code, offOpts))
+	}
+	results, err := collect(setup.pool().RunAll(ctx, jobs))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]DepthRow, 0, len(benches))
+	for i, b := range benches {
+		on, off := results[2*i], results[2*i+1]
+		rows = append(rows, DepthRow{
+			Name:          b.Name,
+			BoundedTime:   on.Elapsed,
+			BoundedMiss:   on.Analysis.MissCount(),
+			BoundedIter:   on.Analysis.Iterations,
+			UnboundedTime: off.Elapsed,
+			UnboundedMiss: off.Analysis.MissCount(),
+			UnboundedIter: off.Analysis.Iterations,
+		})
 	}
 	return rows, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestTable3And4Statistics(t *testing.T) {
 }
 
 func TestTable5Shape(t *testing.T) {
-	rows, err := Table5(quickSetup())
+	rows, err := Table5(context.Background(), quickSetup())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,10 @@ func TestTable5Shape(t *testing.T) {
 }
 
 func TestTable6Shape(t *testing.T) {
-	rows, err := Table6(quickSetup())
+	if raceDetectorOn {
+		t.Skip("full-corpus strategy sweep is too slow under the race detector; raced via internal/runner")
+	}
+	rows, err := Table6(context.Background(), quickSetup())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +103,13 @@ func TestTable6Shape(t *testing.T) {
 // five kernels as the paper leak under the speculative analysis only, and
 // des leaks even with a zero-size client buffer.
 func TestTable7PaperShape(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("crypto corpus sweep is too slow under the race detector; raced via internal/runner")
+	}
 	if testing.Short() {
 		t.Skip("table 7 sweep is expensive")
 	}
-	rows, err := Table7(quickSetup())
+	rows, err := Table7(context.Background(), quickSetup())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +156,10 @@ func TestFig2Experiment(t *testing.T) {
 }
 
 func TestDepthAblation(t *testing.T) {
-	rows, err := DepthAblation(quickSetup())
+	if raceDetectorOn {
+		t.Skip("full-corpus depth ablation is too slow under the race detector; raced via internal/runner")
+	}
+	rows, err := DepthAblation(context.Background(), quickSetup())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +193,7 @@ func TestFindLeakThresholdOnFig2LikeKernel(t *testing.T) {
 	if !ok {
 		t.Fatal("hash missing")
 	}
-	size, found, err := FindLeakThreshold(b, quickSetup())
+	size, found, err := FindLeakThreshold(context.Background(), b, quickSetup())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"specabsint/internal/bench"
-	"specabsint/internal/core"
 	"specabsint/internal/layout"
+	"specabsint/internal/runner"
 )
 
 // GeomRow is one point of the cache-geometry sweep: potential miss counts
@@ -22,7 +23,10 @@ type GeomRow struct {
 // on one benchmark. Small caches thrash either way; very large caches
 // absorb the wrong-path pollution; the speculative analysis matters most in
 // between — the regime the paper's 512-line configuration sits in.
-func GeometrySweep(benchName string, lineCounts []int, setup Setup) ([]GeomRow, error) {
+//
+// The benchmark is compiled once; the analyses (one pair per geometry) are
+// independent and share the compiled program across the pool's workers.
+func GeometrySweep(ctx context.Context, benchName string, lineCounts []int, setup Setup) ([]GeomRow, error) {
 	b, ok := bench.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
@@ -31,26 +35,31 @@ func GeometrySweep(benchName string, lineCounts []int, setup Setup) ([]GeomRow, 
 	if err != nil {
 		return nil, err
 	}
-	var rows []GeomRow
+	var jobs []runner.Job
 	for _, lines := range lineCounts {
 		cfg := layout.CacheConfig{LineSize: setup.Cache.LineSize, NumSets: 1, Assoc: lines}
-		opts := setup.options(false)
-		opts.Cache = cfg
-		base, err := core.Analyze(prog, opts)
-		if err != nil {
-			return nil, err
+		for _, speculative := range []bool{false, true} {
+			opts := setup.options(speculative)
+			opts.Cache = cfg
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("%s@%d/spec=%v", b.Name, lines, speculative),
+				Prog: prog,
+				Opts: opts,
+			})
 		}
-		opts = setup.options(true)
-		opts.Cache = cfg
-		spec, err := core.Analyze(prog, opts)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := collect(setup.pool().RunAll(ctx, jobs))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]GeomRow, 0, len(lineCounts))
+	for i, lines := range lineCounts {
+		base, spec := results[2*i], results[2*i+1]
 		rows = append(rows, GeomRow{
 			Lines:       lines,
-			NonSpecMiss: base.MissCount(),
-			SpecMiss:    spec.MissCount(),
-			SpecSpMiss:  spec.SpecMissCount(),
+			NonSpecMiss: base.Analysis.MissCount(),
+			SpecMiss:    spec.Analysis.MissCount(),
+			SpecSpMiss:  spec.Analysis.SpecMissCount(),
 		})
 	}
 	return rows, nil
@@ -66,33 +75,33 @@ type ICacheRow struct {
 }
 
 // ICacheTable runs the §3.2 extension — the same speculative analysis over
-// the instruction cache — on the WCET suite.
-func ICacheTable(lines int, setup Setup) ([]ICacheRow, error) {
-	var rows []ICacheRow
-	for _, b := range bench.WCETBenchmarks() {
-		prog, err := bench.Compile(b.Code, setup.MaxUnroll)
-		if err != nil {
-			return nil, err
+// the instruction cache — on the WCET suite, batched on the setup's pool.
+func ICacheTable(ctx context.Context, lines int, setup Setup) ([]ICacheRow, error) {
+	benches := bench.WCETBenchmarks()
+	cfg := layout.CacheConfig{LineSize: setup.Cache.LineSize, NumSets: 1, Assoc: lines}
+	var jobs []runner.Job
+	for _, b := range benches {
+		for _, speculative := range []bool{false, true} {
+			opts := setup.options(speculative)
+			opts.Cache = cfg
+			j := setup.job(fmt.Sprintf("%s/icache/spec=%v", b.Name, speculative), b.Code, opts)
+			j.Mode = runner.ModeICache
+			jobs = append(jobs, j)
 		}
-		cfg := layout.CacheConfig{LineSize: setup.Cache.LineSize, NumSets: 1, Assoc: lines}
-		opts := setup.options(false)
-		opts.Cache = cfg
-		base, err := core.AnalyzeInstructionCache(prog, opts)
-		if err != nil {
-			return nil, err
-		}
-		opts = setup.options(true)
-		opts.Cache = cfg
-		spec, err := core.AnalyzeInstructionCache(prog, opts)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := collect(setup.pool().RunAll(ctx, jobs))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ICacheRow, 0, len(benches))
+	for i, b := range benches {
+		base, spec := results[2*i], results[2*i+1]
 		rows = append(rows, ICacheRow{
 			Name:        b.Name,
-			Fetches:     spec.AccessCount(),
-			NonSpecMiss: base.MissCount(),
-			SpecMiss:    spec.MissCount(),
-			SpecSpMiss:  spec.SpecMissCount(),
+			Fetches:     spec.Analysis.AccessCount(),
+			NonSpecMiss: base.Analysis.MissCount(),
+			SpecMiss:    spec.Analysis.MissCount(),
+			SpecSpMiss:  spec.Analysis.SpecMissCount(),
 		})
 	}
 	return rows, nil

@@ -1,9 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestGeometrySweepShape(t *testing.T) {
-	rows, err := GeometrySweep("g72", []int{4, 16, 64, 256}, quickSetup())
+	rows, err := GeometrySweep(context.Background(), "g72", []int{4, 16, 64, 256}, quickSetup())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,18 +33,21 @@ func TestGeometrySweepShape(t *testing.T) {
 }
 
 func TestGeometrySweepUnknownBench(t *testing.T) {
-	if _, err := GeometrySweep("nope", []int{8}, quickSetup()); err == nil {
+	if _, err := GeometrySweep(context.Background(), "nope", []int{8}, quickSetup()); err == nil {
 		t.Fatal("expected error for unknown benchmark")
 	}
 }
 
 func TestICacheTableShape(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("full-corpus i-cache sweep is too slow under the race detector; raced via internal/runner")
+	}
 	// A modest speculation window keeps the 10-benchmark i-cache sweep
 	// fast; the shape is the same as with the paper's 200.
 	setup := quickSetup()
 	setup.DepthMiss = 60
 	setup.DepthHit = 20
-	rows, err := ICacheTable(16, setup)
+	rows, err := ICacheTable(context.Background(), 16, setup)
 	if err != nil {
 		t.Fatal(err)
 	}

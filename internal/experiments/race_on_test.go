@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn marks builds under `go test -race`. The full-corpus sweeps
+// run an order of magnitude slower with the detector instrumenting every
+// memory access; the heaviest ones are skipped there. The pool's concurrency
+// is still raced end to end by internal/runner's tests (including a golden
+// sweep over the whole WCET corpus) and by TestTable5Shape here.
+const raceDetectorOn = true

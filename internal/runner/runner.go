@@ -1,0 +1,313 @@
+// Package runner is the batch-analysis engine: a worker pool that fans out
+// independent (program, options) analysis jobs across CPUs. The paper's §6.4
+// optimization makes colored speculative states independent per branch, and
+// its evaluation runs every benchmark under many configurations (strategies
+// × depths × cache geometries) — an embarrassingly parallel workload. The
+// pool adds the operational pieces a long corpus sweep needs:
+//
+//   - cancellation: the worker's context reaches core.AnalyzeContext, whose
+//     fixpoint loop polls it between worklist iterations, so a canceled
+//     batch stops mid-analysis rather than after the current job;
+//   - panic isolation: a crash in one job becomes that job's *PanicError
+//     instead of killing the whole batch;
+//   - a compiled-program cache keyed by (source hash, lowering options), so
+//     a strategy sweep re-analyzing one benchmark under N configurations
+//     parses and lowers it once;
+//   - streamed results in completion order (Run) and a deterministic
+//     job-order wrapper (RunAll).
+//
+// Analyses are pure over the IR, so one compiled program is safely shared
+// by any number of concurrent jobs.
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"specabsint/internal/core"
+	"specabsint/internal/ir"
+	"specabsint/internal/lower"
+	"specabsint/internal/sidechannel"
+	"specabsint/internal/source"
+)
+
+// Mode selects which analysis a job runs.
+type Mode int
+
+// Analysis modes.
+const (
+	// ModeAnalyze runs the speculative data-cache analysis
+	// (core.AnalyzeContext).
+	ModeAnalyze Mode = iota
+	// ModeSideChannel additionally runs leak and Spectre-gadget detection
+	// (sidechannel.AnalyzeContext).
+	ModeSideChannel
+	// ModeICache runs the §3.2 instruction-cache extension
+	// (core.AnalyzeInstructionCacheContext).
+	ModeICache
+)
+
+// Job is one analysis request: a program (source or pre-compiled) plus the
+// analysis options to run it under.
+type Job struct {
+	// Name labels the job in results and error messages.
+	Name string
+	// Source is MiniC source, compiled through the pool's program cache.
+	// Ignored when Prog is set.
+	Source string
+	// MaxUnroll caps constant-trip loop unrolling at lowering time; it is
+	// part of the cache key. 0 uses the lowering default.
+	MaxUnroll int
+	// Prog, when non-nil, is analyzed directly (no compile, no cache).
+	Prog *ir.Program
+	// Opts configures the analysis.
+	Opts core.Options
+	// Mode selects the analysis pipeline (default ModeAnalyze).
+	Mode Mode
+
+	// run, when non-nil, replaces the built-in pipeline. Test seam for
+	// exercising pool mechanics (panics, blocking jobs) deterministically.
+	run func(ctx context.Context) (*core.Result, *sidechannel.Report, error)
+}
+
+// Result is one completed job.
+type Result struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Name echoes the job's label.
+	Name string
+	// Prog is the program that was analyzed (the cached compilation for
+	// Source jobs). Nil when compilation failed.
+	Prog *ir.Program
+	// Analysis is the cache analysis result; nil when Err is set.
+	Analysis *core.Result
+	// Leaks carries the side-channel report for ModeSideChannel jobs.
+	Leaks *sidechannel.Report
+	// Elapsed is the job's wall-clock time (compile + analysis).
+	Elapsed time.Duration
+	// Err is the job's failure, if any: a compile or analysis error, the
+	// context error for canceled jobs, or a *PanicError for crashed ones.
+	Err error
+}
+
+// PanicError reports a job that panicked. The batch is not affected; the
+// panic value and stack are preserved for debugging.
+type PanicError struct {
+	Job   string
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %q panicked: %v", e.Job, e.Value)
+}
+
+// progKey identifies one compilation: source content plus every lowering
+// option that shapes the IR.
+type progKey struct {
+	hash      [sha256.Size]byte
+	maxUnroll int
+}
+
+// progEntry is a cache slot; once guarantees a single compilation even when
+// several workers want the same program concurrently.
+type progEntry struct {
+	once sync.Once
+	prog *ir.Program
+	err  error
+}
+
+// Pool is a reusable batch-analysis service. The zero value is not usable;
+// create pools with New. A Pool is safe for concurrent use, and its program
+// cache persists across Run calls, so consecutive sweeps over the same
+// corpus skip re-lowering.
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	progs  map[progKey]*progEntry
+	hits   int64
+	misses int64
+}
+
+// New creates a pool with the given number of workers; workers <= 0 selects
+// GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, progs: map[progKey]*progEntry{}}
+}
+
+// Workers returns the pool's concurrency.
+func (p *Pool) Workers() int { return p.workers }
+
+// CacheStats returns the program cache's hit and miss counts.
+func (p *Pool) CacheStats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Run fans jobs out across the pool's workers and streams results in
+// completion order. The returned channel is closed after the last result;
+// the caller must drain it. When ctx is canceled, jobs already running
+// return their context error as soon as their fixpoint loop observes it,
+// and jobs not yet started are dropped (RunAll converts those into per-job
+// context errors).
+func (p *Pool) Run(ctx context.Context, jobs []Job) <-chan Result {
+	out := make(chan Result)
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range jobs {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				out <- p.runJob(ctx, i, jobs[i])
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// RunAll runs the batch and returns one result per job, in job order —
+// deterministic however the workers interleaved. Per-job failures (including
+// cancellation) are reported in Result.Err; jobs never started because the
+// context was canceled carry the context's error.
+func (p *Pool) RunAll(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	started := make([]bool, len(jobs))
+	for r := range p.Run(ctx, jobs) {
+		results[r.Index] = r
+		started[r.Index] = true
+	}
+	for i := range results {
+		if !started[i] {
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled // unreachable: only cancellation skips jobs
+			}
+			results[i] = Result{Index: i, Name: jobs[i].Name, Err: err}
+		}
+	}
+	return results
+}
+
+// runJob executes one job with panic isolation.
+func (p *Pool) runJob(ctx context.Context, idx int, j Job) (res Result) {
+	res = Result{Index: idx, Name: j.Name}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			res = Result{
+				Index:   idx,
+				Name:    j.Name,
+				Elapsed: time.Since(start),
+				Err:     &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()},
+			}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	if j.run != nil {
+		res.Analysis, res.Leaks, res.Err = j.run(ctx)
+		return res
+	}
+	prog := j.Prog
+	if prog == nil {
+		var err error
+		prog, err = p.compile(j.Source, j.MaxUnroll)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	res.Prog = prog
+	switch j.Mode {
+	case ModeSideChannel:
+		rep, err := sidechannel.AnalyzeContext(ctx, prog, j.Opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Leaks = rep
+		res.Analysis = rep.Analysis
+	case ModeICache:
+		out, err := core.AnalyzeInstructionCacheContext(ctx, prog, j.Opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Analysis = out
+	default:
+		out, err := core.AnalyzeContext(ctx, prog, j.Opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Analysis = out
+	}
+	return res
+}
+
+// compile parses and lowers source through the cache. Concurrent requests
+// for the same (source, options) compile once and share the result.
+func (p *Pool) compile(src string, maxUnroll int) (*ir.Program, error) {
+	key := progKey{hash: sha256.Sum256([]byte(src)), maxUnroll: maxUnroll}
+	p.mu.Lock()
+	e, ok := p.progs[key]
+	if ok {
+		p.hits++
+	} else {
+		p.misses++
+		e = &progEntry{}
+		p.progs[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("compile panicked: %v", r)
+			}
+		}()
+		ast, err := source.Parse(src)
+		if err != nil {
+			e.err = err
+			return
+		}
+		opts := lower.DefaultOptions()
+		if maxUnroll > 0 {
+			opts.MaxUnroll = maxUnroll
+		}
+		e.prog, e.err = lower.Lower(ast, opts)
+	})
+	return e.prog, e.err
+}

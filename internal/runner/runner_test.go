@@ -1,0 +1,257 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/core"
+	"specabsint/internal/sidechannel"
+)
+
+// TestRunAllOrderAndCompleteness checks that a batch larger than the worker
+// count returns exactly one result per job, in job order, regardless of how
+// the workers interleave.
+func TestRunAllOrderAndCompleteness(t *testing.T) {
+	p := New(4)
+	const n = 32
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name:   fmt.Sprintf("job%d", i),
+			Source: bench.Fig2Program(i % 8), // 8 distinct programs
+			Opts:   core.DefaultOptions(),
+		}
+	}
+	results := p.RunAll(context.Background(), jobs)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != jobs[i].Name {
+			t.Errorf("result %d: got index %d name %q", i, r.Index, r.Name)
+		}
+		if r.Err != nil {
+			t.Errorf("job %s: %v", r.Name, r.Err)
+		}
+		if r.Analysis == nil || r.Analysis.AccessCount() == 0 {
+			t.Errorf("job %s: empty analysis", r.Name)
+		}
+	}
+	hits, misses := p.CacheStats()
+	if misses != 8 || hits != n-8 {
+		t.Errorf("cache stats: %d hits %d misses, want %d hits 8 misses", hits, misses, n-8)
+	}
+}
+
+// TestPanicIsolation checks that a panicking job surfaces as its own
+// *PanicError without disturbing the rest of the batch.
+func TestPanicIsolation(t *testing.T) {
+	p := New(2)
+	ok := func(context.Context) (*core.Result, *sidechannel.Report, error) {
+		return &core.Result{}, nil, nil
+	}
+	jobs := []Job{
+		{Name: "good0", run: ok},
+		{Name: "boom", run: func(context.Context) (*core.Result, *sidechannel.Report, error) {
+			panic("deliberate crash")
+		}},
+		{Name: "good1", run: ok},
+	}
+	results := p.RunAll(context.Background(), jobs)
+	var perr *PanicError
+	if !errors.As(results[1].Err, &perr) {
+		t.Fatalf("job 1: got %v, want *PanicError", results[1].Err)
+	}
+	if perr.Job != "boom" || perr.Value != "deliberate crash" || len(perr.Stack) == 0 {
+		t.Errorf("panic error: %+v", perr)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("job %d affected by sibling panic: %v", i, results[i].Err)
+		}
+	}
+}
+
+// TestCancelBlockedBatch cancels a batch whose running jobs block on the
+// context: the blocked jobs must return the context error and jobs never
+// started must be reported as canceled too, so RunAll stays complete.
+func TestCancelBlockedBatch(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	running := make(chan struct{}, 2)
+	block := func(ctx context.Context) (*core.Result, *sidechannel.Report, error) {
+		running <- struct{}{}
+		<-ctx.Done()
+		return nil, nil, ctx.Err()
+	}
+	jobs := []Job{
+		{Name: "blocked0", run: block},
+		{Name: "blocked1", run: block},
+		{Name: "never-started", run: block},
+	}
+	var (
+		wg      sync.WaitGroup
+		results []Result
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results = p.RunAll(ctx, jobs)
+	}()
+	<-running // both workers are now parked in a job
+	<-running
+	cancel()
+	wg.Wait()
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %s: got %v, want context.Canceled", r.Name, r.Err)
+		}
+	}
+}
+
+// pollCancelCtx is a context that reports itself canceled after a fixed
+// number of Done() polls. The fixpoint engine polls between worklist
+// iterations, so this cancels an analysis mid-fixpoint deterministically —
+// no timing involved.
+type pollCancelCtx struct {
+	context.Context
+	mu        sync.Mutex
+	remaining int
+	done      chan struct{}
+}
+
+func newPollCancelCtx(polls int) *pollCancelCtx {
+	return &pollCancelCtx{Context: context.Background(), remaining: polls, done: make(chan struct{})}
+}
+
+func (c *pollCancelCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.remaining--
+	if c.remaining <= 0 {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+	return c.done
+}
+
+func (c *pollCancelCtx) Err() error {
+	select {
+	case <-c.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// TestCancelMidFixpoint runs a real analysis under a context that cancels on
+// its third poll — several hundred worklist iterations in — and checks the
+// fixpoint loop abandons the analysis with the context error.
+func TestCancelMidFixpoint(t *testing.T) {
+	p := New(1)
+	ctx := newPollCancelCtx(3) // canceled on the poll at worklist iteration 512
+	b, ok := bench.ByName("adpcm")
+	if !ok {
+		t.Fatal("adpcm benchmark missing")
+	}
+	jobs := []Job{{
+		Name:      b.Name,
+		Source:    b.Code,
+		MaxUnroll: 4096, // ~32k worklist iterations: cancellation lands mid-fixpoint
+		Opts:      core.DefaultOptions(),
+	}}
+	results := p.RunAll(ctx, jobs)
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", results[0].Err)
+	}
+	if results[0].Analysis != nil {
+		t.Error("canceled job carries a partial analysis result")
+	}
+}
+
+// TestBatchMatchesSerial is the golden equivalence check: every WCET
+// benchmark analyzed through the pool must report exactly the per-access
+// classifications and summary counts of the serial path.
+func TestBatchMatchesSerial(t *testing.T) {
+	benches := bench.WCETBenchmarks()
+	opts := core.DefaultOptions()
+	jobs := make([]Job, len(benches))
+	for i, b := range benches {
+		jobs[i] = Job{Name: b.Name, Source: b.Code, Opts: opts, Mode: ModeSideChannel}
+	}
+	results := New(0).RunAll(context.Background(), jobs)
+	for i, b := range benches {
+		r := results[i]
+		if r.Err != nil {
+			t.Fatalf("%s: %v", b.Name, r.Err)
+		}
+		prog, err := bench.Compile(b.Code, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		want, err := sidechannel.Analyze(prog, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		got := r.Leaks
+		if got.Analysis.MissCount() != want.Analysis.MissCount() ||
+			got.Analysis.SpecMissCount() != want.Analysis.SpecMissCount() ||
+			got.Analysis.Iterations != want.Analysis.Iterations {
+			t.Errorf("%s: batch summary diverges from serial", b.Name)
+		}
+		if !reflect.DeepEqual(got.Analysis.Access, want.Analysis.Access) ||
+			!reflect.DeepEqual(got.Analysis.SpecAccess, want.Analysis.SpecAccess) {
+			t.Errorf("%s: per-access classifications diverge from serial", b.Name)
+		}
+		if !reflect.DeepEqual(got.Leaks, want.Leaks) ||
+			!reflect.DeepEqual(got.SpectreLeaks, want.SpectreLeaks) {
+			t.Errorf("%s: leak reports diverge from serial", b.Name)
+		}
+	}
+}
+
+// TestCompileErrorPerJob checks a bad-source job fails alone: its error is a
+// parse error, and sibling jobs complete.
+func TestCompileErrorPerJob(t *testing.T) {
+	p := New(2)
+	jobs := []Job{
+		{Name: "bad", Source: "int main( {", Opts: core.DefaultOptions()},
+		{Name: "good", Source: bench.Fig2Program(0), Opts: core.DefaultOptions()},
+	}
+	results := p.RunAll(context.Background(), jobs)
+	if results[0].Err == nil {
+		t.Error("bad job: expected a compile error")
+	}
+	if results[1].Err != nil {
+		t.Errorf("good job: %v", results[1].Err)
+	}
+}
+
+// TestPoolReuseAcrossRuns checks the program cache persists across Run calls
+// on the same pool: a second identical sweep compiles nothing.
+func TestPoolReuseAcrossRuns(t *testing.T) {
+	p := New(2)
+	jobs := []Job{{Name: "fig2", Source: bench.Fig2Program(0), Opts: core.DefaultOptions()}}
+	if r := p.RunAll(context.Background(), jobs); r[0].Err != nil {
+		t.Fatal(r[0].Err)
+	}
+	_, missesBefore := p.CacheStats()
+	if r := p.RunAll(context.Background(), jobs); r[0].Err != nil {
+		t.Fatal(r[0].Err)
+	}
+	_, missesAfter := p.CacheStats()
+	if missesAfter != missesBefore {
+		t.Errorf("second run recompiled: misses %d -> %d", missesBefore, missesAfter)
+	}
+}

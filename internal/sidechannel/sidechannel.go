@@ -7,6 +7,7 @@
 package sidechannel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -81,7 +82,13 @@ func (r *Report) SpectreDetected() bool { return len(r.SpectreLeaks) > 0 }
 //   - otherwise: the latency depends on which block the secret selects, or
 //     on speculative pollution controlled by prior execution — a leak.
 func Analyze(prog *ir.Program, opts core.Options) (*Report, error) {
-	res, err := core.Analyze(prog, opts)
+	return AnalyzeContext(context.Background(), prog, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation, threaded through the
+// underlying fixpoint computation.
+func AnalyzeContext(ctx context.Context, prog *ir.Program, opts core.Options) (*Report, error) {
+	res, err := core.AnalyzeContext(ctx, prog, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +114,7 @@ func Analyze(prog *ir.Program, opts core.Options) (*Report, error) {
 			})
 		}
 	}
-	sort.Slice(rep.Leaks, func(i, j int) bool { return rep.Leaks[i].InstrID < rep.Leaks[j].InstrID })
+	sortLeaks(rep.Leaks)
 
 	if opts.Speculative {
 		rep.findSpectreGadgets(prog, res)
@@ -149,7 +156,16 @@ func (rep *Report) findSpectreGadgets(prog *ir.Program, res *core.Result) {
 			Store:   in.Op == ir.OpStore,
 		})
 	}
-	sort.Slice(rep.SpectreLeaks, func(i, j int) bool {
-		return rep.SpectreLeaks[i].InstrID < rep.SpectreLeaks[j].InstrID
+	sortLeaks(rep.SpectreLeaks)
+}
+
+// sortLeaks orders leaks by source line (then instruction id for accesses
+// sharing a line), so reports are stable however the analysis visited them.
+func sortLeaks(leaks []Leak) {
+	sort.Slice(leaks, func(i, j int) bool {
+		if leaks[i].Line != leaks[j].Line {
+			return leaks[i].Line < leaks[j].Line
+		}
+		return leaks[i].InstrID < leaks[j].InstrID
 	})
 }

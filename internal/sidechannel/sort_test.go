@@ -1,0 +1,25 @@
+package sidechannel
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortLeaksBySourceLine(t *testing.T) {
+	leaks := []Leak{
+		{InstrID: 1, Line: 9},
+		{InstrID: 7, Line: 3},
+		{InstrID: 4, Line: 3},
+		{InstrID: 2, Line: 12},
+	}
+	sortLeaks(leaks)
+	want := []Leak{
+		{InstrID: 4, Line: 3},
+		{InstrID: 7, Line: 3},
+		{InstrID: 1, Line: 9},
+		{InstrID: 2, Line: 12},
+	}
+	if !reflect.DeepEqual(leaks, want) {
+		t.Errorf("got %+v, want %+v", leaks, want)
+	}
+}

@@ -178,15 +178,28 @@ func (t Token) String() string {
 	}
 }
 
-// Error is a front-end diagnostic carrying a source position.
-type Error struct {
+// ParseError is a front-end diagnostic carrying a source position. It is
+// returned (possibly wrapped) by Parse for lexical, syntactic, and semantic
+// errors, and survives errors.As through any number of wrapping layers.
+type ParseError struct {
 	Pos Pos
 	Msg string
 }
 
 // Error implements the error interface.
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
-func errf(pos Pos, format string, args ...any) *Error {
-	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+// Line returns the 1-based source line of the diagnostic.
+func (e *ParseError) Line() int { return e.Pos.Line }
+
+// Col returns the 1-based source column of the diagnostic.
+func (e *ParseError) Col() int { return e.Pos.Col }
+
+// Error is the pre-typed-errors name of ParseError.
+//
+// Deprecated: use ParseError.
+type Error = ParseError
+
+func errf(pos Pos, format string, args ...any) *ParseError {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }

@@ -12,13 +12,19 @@
 //
 // Quick start:
 //
-//	prog, err := specabsint.Compile(src)
-//	report, err := specabsint.Analyze(prog, specabsint.DefaultConfig())
+//	prog, err := specabsint.CompileOpts(src)
+//	report, err := specabsint.AnalyzeContext(ctx, prog)
 //	fmt.Println(report.Misses, report.SpecMisses)
+//
+// Analyses are configured with functional options (WithCache, WithStrategy,
+// WithDepths, ...) on top of the paper's defaults; AnalyzeBatch fans many
+// (program, options) jobs out across CPUs with per-job error isolation. The
+// struct-based Config API (Compile, CompileWith, Analyze) remains as thin
+// deprecated wrappers.
 package specabsint
 
 import (
-	"fmt"
+	"context"
 	"sort"
 
 	"specabsint/internal/cache"
@@ -164,16 +170,31 @@ type Report struct {
 	SpectreGadgets []string
 }
 
-// Compile parses and lowers MiniC source with the default configuration.
-func Compile(src string) (*CompiledProgram, error) {
-	return CompileWith(src, DefaultConfig())
+// CompileOpts parses and lowers MiniC source. Only WithMaxUnroll (and a
+// MaxUnroll carried by WithConfig) affects lowering. Compilation errors
+// satisfy errors.As for *ParseError, with the source position preserved.
+func CompileOpts(src string, opts ...Option) (*CompiledProgram, error) {
+	return compileConfig(src, newConfig(opts))
 }
 
-// CompileWith parses and lowers MiniC source with explicit options.
+// Compile parses and lowers MiniC source with the default configuration.
+//
+// Deprecated: use CompileOpts.
+func Compile(src string) (*CompiledProgram, error) {
+	return CompileOpts(src)
+}
+
+// CompileWith parses and lowers MiniC source with an explicit Config.
+//
+// Deprecated: use CompileOpts with functional options.
 func CompileWith(src string, cfg Config) (*CompiledProgram, error) {
+	return compileConfig(src, cfg)
+}
+
+func compileConfig(src string, cfg Config) (*CompiledProgram, error) {
 	ast, err := source.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("specabsint: %w", err)
+		return nil, wrapErr(err)
 	}
 	lopts := lower.DefaultOptions()
 	if cfg.MaxUnroll > 0 {
@@ -181,19 +202,39 @@ func CompileWith(src string, cfg Config) (*CompiledProgram, error) {
 	}
 	prog, err := lower.Lower(ast, lopts)
 	if err != nil {
-		return nil, fmt.Errorf("specabsint: %w", err)
+		return nil, wrapErr(err)
 	}
 	return &CompiledProgram{prog: prog}, nil
 }
 
-// Analyze runs the speculation-aware cache analysis and both applications
-// (execution-time estimation and side-channel detection).
+// AnalyzeContext runs the speculation-aware cache analysis and both
+// applications (execution-time estimation and side-channel detection),
+// configured by opts on top of the paper's defaults. The fixpoint loop
+// polls ctx between iterations; on cancellation the returned error
+// satisfies both errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()).
+func AnalyzeContext(ctx context.Context, p *CompiledProgram, opts ...Option) (*Report, error) {
+	return analyzeConfig(ctx, p, newConfig(opts))
+}
+
+// Analyze runs the analysis with an explicit Config and no cancellation.
+//
+// Deprecated: use AnalyzeContext with functional options.
 func Analyze(p *CompiledProgram, cfg Config) (*Report, error) {
-	opts := cfg.coreOptions()
-	rep, err := sidechannel.Analyze(p.prog, opts)
+	return analyzeConfig(context.Background(), p, cfg)
+}
+
+func analyzeConfig(ctx context.Context, p *CompiledProgram, cfg Config) (*Report, error) {
+	rep, err := sidechannel.AnalyzeContext(ctx, p.prog, cfg.coreOptions())
 	if err != nil {
-		return nil, fmt.Errorf("specabsint: %w", err)
+		return nil, wrapErr(err)
 	}
+	return buildReport(p.prog, rep), nil
+}
+
+// buildReport converts the internal side-channel report into the public
+// Report. Leaks and SpectreGadgets inherit the source-line ordering of the
+// internal report; Accesses are listed in source order.
+func buildReport(prog *ir.Program, rep *sidechannel.Report) *Report {
 	res := rep.Analysis
 	out := &Report{
 		Misses:       res.MissCount(),
@@ -220,13 +261,13 @@ func Analyze(p *CompiledProgram, cfg Config) (*Report, error) {
 		out.Accesses = append(out.Accesses, AccessReport{
 			Line:        info.Instr.Line,
 			Store:       info.Instr.Op == ir.OpStore,
-			Symbol:      p.prog.Symbol(info.Instr.Sym).Name,
+			Symbol:      prog.Symbol(info.Instr.Sym).Name,
 			Class:       info.Class,
 			SpecClass:   spec,
 			SpecReached: reached,
 		})
 	}
-	return out, nil
+	return out
 }
 
 // SimulationResult carries the concrete simulator's counters.
