@@ -72,6 +72,32 @@ type Domain struct {
 
 	// prefix is scratch for the NYoung cumulative histogram.
 	prefix []int
+	// affected/affectedList are scratch for range transfers: membership mask
+	// and list of the cache sets a range access may touch. Reused across
+	// calls so the hot path performs no per-transfer allocation.
+	affected     []bool
+	affectedList []int
+}
+
+// affectedSets collects the distinct cache sets touched by acc into the
+// domain's scratch list, returning it. Valid until the next call.
+func (d *Domain) affectedSets(acc Access) []int {
+	numSets := d.L.Config.NumSets
+	if len(d.affected) < numSets {
+		d.affected = make([]bool, numSets)
+	}
+	d.affectedList = d.affectedList[:0]
+	for i := 0; i < acc.Count && len(d.affectedList) < numSets; i++ {
+		set := d.L.SetOf(acc.First + layout.BlockID(i))
+		if !d.affected[set] {
+			d.affected[set] = true
+			d.affectedList = append(d.affectedList, set)
+		}
+	}
+	for _, set := range d.affectedList {
+		d.affected[set] = false
+	}
+	return d.affectedList
 }
 
 // NewDomain creates a refined domain over l.
@@ -226,10 +252,7 @@ func (d *Domain) accessExact(s *State, v layout.BlockID) {
 func (d *Domain) accessRange(s *State, acc Access) {
 	assoc := d.assoc()
 	numSets := d.L.Config.NumSets
-	affected := make(map[int]bool, numSets)
-	for i := 0; i < acc.Count && len(affected) < numSets; i++ {
-		affected[d.L.SetOf(acc.First+layout.BlockID(i))] = true
-	}
+	affected := d.affectedSets(acc)
 
 	// Shadow: candidates may be youngest now. Other blocks keep their
 	// lower bounds (the access may have gone elsewhere in their set).
@@ -239,7 +262,7 @@ func (d *Domain) accessRange(s *State, acc Access) {
 
 	// Must: age every block in an affected set (the accessed block's age is
 	// unknown, so conservatively it evicts from the bottom of the set).
-	for set := range affected {
+	for _, set := range affected {
 		if d.Refined {
 			d.buildPrefix(s, set)
 		}
@@ -284,7 +307,7 @@ func (d *Domain) JoinInto(dst, src *State) bool {
 		return false
 	}
 	if dst.IsBottom {
-		*dst = *src.Clone()
+		dst.CopyFrom(src)
 		return true
 	}
 	changed := false

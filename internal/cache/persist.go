@@ -56,10 +56,7 @@ func (d *Domain) persistAccessExact(s *State, v layout.BlockID) {
 func (d *Domain) persistAccessRange(s *State, acc Access) {
 	assoc := d.assoc()
 	numSets := d.L.Config.NumSets
-	affected := make(map[int]bool, numSets)
-	for i := 0; i < acc.Count && len(affected) < numSets; i++ {
-		affected[d.L.SetOf(acc.First+layout.BlockID(i))] = true
-	}
+	affected := d.affectedSets(acc)
 	for i := 0; i < acc.Count; i++ {
 		b := acc.First + layout.BlockID(i)
 		s.shadow[b] = 1
@@ -67,7 +64,7 @@ func (d *Domain) persistAccessRange(s *State, acc Access) {
 			s.must[b] = 1
 		}
 	}
-	for set := range affected {
+	for _, set := range affected {
 		for i := set; i < len(s.must); i += numSets {
 			a := s.must[i]
 			if a == 0 || a == persistTop {
@@ -89,7 +86,7 @@ func (d *Domain) persistJoinInto(dst, src *State) bool {
 		return false
 	}
 	if dst.IsBottom {
-		*dst = *src.Clone()
+		dst.CopyFrom(src)
 		return true
 	}
 	changed := false

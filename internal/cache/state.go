@@ -45,7 +45,12 @@ func NewState(numBlocks int) *State {
 func Bottom() *State { return &State{IsBottom: true} }
 
 // NumBlocks returns the size of the block universe (0 for bottom).
-func (s *State) NumBlocks() int { return len(s.must) }
+func (s *State) NumBlocks() int {
+	if s.IsBottom {
+		return 0
+	}
+	return len(s.must)
+}
 
 // Clone deep-copies the state.
 func (s *State) Clone() *State {
@@ -56,6 +61,28 @@ func (s *State) Clone() *State {
 		must:   append([]uint16(nil), s.must...),
 		shadow: append([]uint16(nil), s.shadow...),
 	}
+}
+
+// CopyFrom makes s a deep copy of src, reusing s's buffers when they are
+// large enough. It is the allocation-free replacement for s = src.Clone():
+// a state that has ever held buffers keeps them across bottom transitions,
+// so fixpoint loops that repeatedly copy into the same slot stop allocating
+// after the first round.
+func (s *State) CopyFrom(src *State) {
+	if src.IsBottom {
+		s.IsBottom = true
+		return
+	}
+	n := len(src.must)
+	if cap(s.must) < n {
+		s.must = make([]uint16, n)
+		s.shadow = make([]uint16, n)
+	}
+	s.must = s.must[:n]
+	s.shadow = s.shadow[:n]
+	copy(s.must, src.must)
+	copy(s.shadow, src.shadow)
+	s.IsBottom = false
 }
 
 // Equal reports structural equality.
@@ -131,6 +158,9 @@ func (s *State) MayBeCached(b layout.BlockID) bool {
 
 // MustCount returns the number of must-cached blocks.
 func (s *State) MustCount() int {
+	if s.IsBottom {
+		return 0
+	}
 	n := 0
 	for _, a := range s.must {
 		if a != 0 {
@@ -142,6 +172,9 @@ func (s *State) MustCount() int {
 
 // ForEachMust calls fn for every must-cached block.
 func (s *State) ForEachMust(fn func(b layout.BlockID, age int)) {
+	if s.IsBottom {
+		return
+	}
 	for i, a := range s.must {
 		if a != 0 {
 			fn(layout.BlockID(i), int(a))
@@ -151,6 +184,9 @@ func (s *State) ForEachMust(fn func(b layout.BlockID, age int)) {
 
 // ForEachShadow calls fn for every may-cached block.
 func (s *State) ForEachShadow(fn func(b layout.BlockID, age int)) {
+	if s.IsBottom {
+		return
+	}
 	for i, a := range s.shadow {
 		if a != 0 {
 			fn(layout.BlockID(i), int(a))

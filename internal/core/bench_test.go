@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+)
+
+// fixpointKernels names the corpus kernels the fixpoint benchmarks run on,
+// chosen to span analysis cost: vga converges in milliseconds, g72 in
+// hundreds of milliseconds, adpcm in seconds (on the seed engine).
+var fixpointKernels = []struct {
+	size string
+	name string
+}{
+	{"small", "vga"},
+	{"medium", "g72"},
+	{"large", "adpcm"},
+}
+
+func compileKernel(tb testing.TB, name string) *ir.Program {
+	tb.Helper()
+	b, ok := bench.ByName(name)
+	if !ok {
+		tb.Fatalf("kernel %q not in corpus", name)
+	}
+	prog, err := bench.Compile(b.Code, 0)
+	if err != nil {
+		tb.Fatalf("compile %s: %v", name, err)
+	}
+	return prog
+}
+
+// BenchmarkFixpoint measures the full speculative fixpoint (paper default
+// options) per corpus kernel. This is the headline perf-trajectory number
+// recorded in BENCH_fixpoint.json.
+func BenchmarkFixpoint(b *testing.B) {
+	for _, k := range fixpointKernels {
+		prog := compileKernel(b, k.name)
+		b.Run(fmt.Sprintf("%s-%s", k.size, k.name), func(b *testing.B) {
+			opts := DefaultOptions()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(prog, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFixpointSetAssoc runs the medium kernel on a 64-set/8-way
+// geometry, the configuration where per-set dirty tracking and partitioned
+// fixpoints have room to win over the dense fully-associative paper cache.
+func BenchmarkFixpointSetAssoc(b *testing.B) {
+	prog := compileKernel(b, "g72")
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 64, Assoc: 8}
+			_ = workers // opts.SetParallelism = workers (pre-PR probe)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(prog, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
