@@ -69,6 +69,10 @@ type Domain struct {
 	// pointwise max, and AlwaysHit means "misses at most once in total".
 	// See persist.go.
 	Persist bool
+	// Filter, when non-nil, restricts the domain to a subset of the cache
+	// sets: Transfer ignores accesses outside the filter, and JoinInto /
+	// Leq / Equal / Widen iterate only the owned sets' blocks. See filter.go.
+	Filter *SetFilter
 
 	// prefix is scratch for the NYoung cumulative histogram.
 	prefix []int
@@ -112,9 +116,18 @@ func (d *Domain) assoc() int { return d.L.Config.Assoc }
 // iterating with stride NumSets visits exactly b's competitors.
 func (d *Domain) setStart(b layout.BlockID) int { return d.L.SetOf(b) }
 
-// Transfer applies one memory access to the state in place.
+// Owns reports whether acc falls inside the domain's set filter. The
+// partitioned engine's grouping guarantees all candidate blocks of an access
+// share one set group, so checking the first candidate suffices.
+func (d *Domain) Owns(acc Access) bool {
+	return d.Filter == nil || d.Filter.Contains(d.L.SetOf(acc.First))
+}
+
+// Transfer applies one memory access to the state in place. Accesses outside
+// the domain's set filter are no-ops: their effects are confined to cache
+// sets this domain does not own.
 func (d *Domain) Transfer(s *State, acc Access) {
-	if s.IsBottom {
+	if s.IsBottom || !d.Owns(acc) {
 		return
 	}
 	if d.Persist {
@@ -283,6 +296,29 @@ func (d *Domain) accessRange(s *State, acc Access) {
 	}
 }
 
+// TransferInto makes dst a copy of src with one access applied — the
+// allocation-free replacement for the engine's clone-then-mutate pattern
+// (dst is typically pooled scratch).
+func (d *Domain) TransferInto(dst, src *State, acc Access) {
+	dst.CopyFrom(src)
+	d.Transfer(dst, acc)
+}
+
+// spans invokes fn once per (start, stride) index span the domain's filter
+// selects: the whole vector when unfiltered, or one span per owned cache set.
+// fn returns whether to keep going (false short-circuits, for Leq/Equal).
+func (d *Domain) spans(fn func(start, stride int) bool) {
+	if d.Filter == nil {
+		fn(0, 1)
+		return
+	}
+	for _, set := range d.Filter.Sets() {
+		if !fn(d.L.SetSpan(set)) {
+			return
+		}
+	}
+}
+
 // Join returns the least upper bound of a and b (Fig. 5 plus the Appendix-B
 // shadow rule): max of must ages (with 0 = infinity absorbing), min of
 // shadow ages (with 0 = infinity neutral).
@@ -299,6 +335,7 @@ func (d *Domain) Join(a, b *State) *State {
 }
 
 // JoinInto merges src into dst in place and reports whether dst changed.
+// JoinInto copies out of src and never retains it, so callers may pool src.
 func (d *Domain) JoinInto(dst, src *State) bool {
 	if d.Persist {
 		return d.persistJoinInto(dst, src)
@@ -311,18 +348,21 @@ func (d *Domain) JoinInto(dst, src *State) bool {
 		return true
 	}
 	changed := false
-	for i := range dst.must {
-		dm, sm := dst.must[i], src.must[i]
-		if dm != 0 && (sm == 0 || sm > dm) {
-			dst.must[i] = sm
-			changed = true
+	d.spans(func(start, stride int) bool {
+		for i := start; i < len(dst.must); i += stride {
+			dm, sm := dst.must[i], src.must[i]
+			if dm != 0 && (sm == 0 || sm > dm) {
+				dst.must[i] = sm
+				changed = true
+			}
+			ds, ss := dst.shadow[i], src.shadow[i]
+			if ss != 0 && (ds == 0 || ss < ds) {
+				dst.shadow[i] = ss
+				changed = true
+			}
 		}
-		ds, ss := dst.shadow[i], src.shadow[i]
-		if ss != 0 && (ds == 0 || ss < ds) {
-			dst.shadow[i] = ss
-			changed = true
-		}
-	}
+		return true
+	})
 	return changed
 }
 
@@ -338,17 +378,45 @@ func (d *Domain) Leq(a, b *State) bool {
 	if b.IsBottom {
 		return false
 	}
-	for i := range a.must {
-		am, bm := a.must[i], b.must[i]
-		if bm != 0 && (am == 0 || am > bm) {
-			return false
+	leq := true
+	d.spans(func(start, stride int) bool {
+		for i := start; i < len(a.must); i += stride {
+			am, bm := a.must[i], b.must[i]
+			if bm != 0 && (am == 0 || am > bm) {
+				leq = false
+				return false
+			}
+			as, bs := a.shadow[i], b.shadow[i]
+			if as != 0 && (bs == 0 || bs > as) {
+				leq = false
+				return false
+			}
 		}
-		as, bs := a.shadow[i], b.shadow[i]
-		if as != 0 && (bs == 0 || bs > as) {
-			return false
-		}
+		return true
+	})
+	return leq
+}
+
+// Equal reports state equality under the domain's filter: only blocks in
+// owned cache sets are compared (full structural equality when unfiltered).
+func (d *Domain) Equal(a, b *State) bool {
+	if a.IsBottom || b.IsBottom {
+		return a.IsBottom == b.IsBottom
 	}
-	return true
+	if len(a.must) != len(b.must) {
+		return false
+	}
+	eq := true
+	d.spans(func(start, stride int) bool {
+		for i := start; i < len(a.must); i += stride {
+			if a.must[i] != b.must[i] || a.shadow[i] != b.shadow[i] {
+				eq = false
+				return false
+			}
+		}
+		return true
+	})
+	return eq
 }
 
 // Widen accelerates convergence: any must age that grew since prev jumps to
@@ -365,16 +433,19 @@ func (d *Domain) Widen(prev, next *State) *State {
 		return prev.Clone()
 	}
 	out := next.Clone()
-	for i := range out.must {
-		nm, pm := next.must[i], prev.must[i]
-		if nm != 0 && (pm == 0 || nm > pm) {
-			out.must[i] = 0
+	d.spans(func(start, stride int) bool {
+		for i := start; i < len(out.must); i += stride {
+			nm, pm := next.must[i], prev.must[i]
+			if nm != 0 && (pm == 0 || nm > pm) {
+				out.must[i] = 0
+			}
+			ns, ps := next.shadow[i], prev.shadow[i]
+			if (ns != 0 && (ps == 0 || ns < ps)) || (ns == 0 && ps != 0) {
+				out.shadow[i] = 1
+			}
 		}
-		ns, ps := next.shadow[i], prev.shadow[i]
-		if (ns != 0 && (ps == 0 || ns < ps)) || (ns == 0 && ps != 0) {
-			out.shadow[i] = 1
-		}
-	}
+		return true
+	})
 	return out
 }
 

@@ -1,0 +1,42 @@
+package cache
+
+// SetFilter restricts a Domain's operations to a subset of the cache sets.
+// The partitioned fixpoint engine gives each per-set-group analysis a filter
+// over the sets it owns: transfers of accesses outside the filter become
+// no-ops, and joins, orders, and widenings iterate only the owned sets'
+// blocks instead of the whole vector. A nil *SetFilter means "all sets".
+//
+// Filters rely on the set-locality of the LRU domain (Fig. 4/5: an access
+// ages only blocks competing for its own set), so a state operated on under
+// a filter has meaningful contents only at block indices b with
+// SetOf(b) ∈ Sets(); everything else stays at its initial zero.
+type SetFilter struct {
+	member []bool
+	sets   []int
+}
+
+// NewSetFilter builds a filter over the given cache sets (of numSets total).
+// Duplicate and out-of-range sets are ignored; the retained sets are kept in
+// first-seen order.
+func NewSetFilter(numSets int, sets []int) *SetFilter {
+	f := &SetFilter{member: make([]bool, numSets)}
+	for _, s := range sets {
+		if s < 0 || s >= numSets || f.member[s] {
+			continue
+		}
+		f.member[s] = true
+		f.sets = append(f.sets, s)
+	}
+	return f
+}
+
+// Contains reports whether the filter owns the given cache set.
+func (f *SetFilter) Contains(set int) bool {
+	return set >= 0 && set < len(f.member) && f.member[set]
+}
+
+// Sets returns the owned cache sets. The caller must not modify the slice.
+func (f *SetFilter) Sets() []int { return f.sets }
+
+// NumSets returns the size of the set universe the filter was built over.
+func (f *SetFilter) NumSets() int { return len(f.member) }

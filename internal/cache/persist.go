@@ -90,17 +90,20 @@ func (d *Domain) persistJoinInto(dst, src *State) bool {
 		return true
 	}
 	changed := false
-	for i := range dst.must {
-		if src.must[i] > dst.must[i] {
-			dst.must[i] = src.must[i]
-			changed = true
+	d.spans(func(start, stride int) bool {
+		for i := start; i < len(dst.must); i += stride {
+			if src.must[i] > dst.must[i] {
+				dst.must[i] = src.must[i]
+				changed = true
+			}
+			ds, ss := dst.shadow[i], src.shadow[i]
+			if ss != 0 && (ds == 0 || ss < ds) {
+				dst.shadow[i] = ss
+				changed = true
+			}
 		}
-		ds, ss := dst.shadow[i], src.shadow[i]
-		if ss != 0 && (ds == 0 || ss < ds) {
-			dst.shadow[i] = ss
-			changed = true
-		}
-	}
+		return true
+	})
 	return changed
 }
 
@@ -112,16 +115,22 @@ func (d *Domain) persistLeq(a, b *State) bool {
 	if b.IsBottom {
 		return false
 	}
-	for i := range a.must {
-		if a.must[i] > b.must[i] {
-			return false
+	leq := true
+	d.spans(func(start, stride int) bool {
+		for i := start; i < len(a.must); i += stride {
+			if a.must[i] > b.must[i] {
+				leq = false
+				return false
+			}
+			as, bs := a.shadow[i], b.shadow[i]
+			if as != 0 && (bs == 0 || bs > as) {
+				leq = false
+				return false
+			}
 		}
-		as, bs := a.shadow[i], b.shadow[i]
-		if as != 0 && (bs == 0 || bs > as) {
-			return false
-		}
-	}
-	return true
+		return true
+	})
+	return leq
 }
 
 // persistWiden jumps growing ages straight to persistTop.
@@ -133,15 +142,18 @@ func (d *Domain) persistWiden(prev, next *State) *State {
 		return prev.Clone()
 	}
 	out := next.Clone()
-	for i := range out.must {
-		if next.must[i] > prev.must[i] && prev.must[i] != 0 {
-			out.must[i] = persistTop
+	d.spans(func(start, stride int) bool {
+		for i := start; i < len(out.must); i += stride {
+			if next.must[i] > prev.must[i] && prev.must[i] != 0 {
+				out.must[i] = persistTop
+			}
+			ns, ps := next.shadow[i], prev.shadow[i]
+			if (ns != 0 && (ps == 0 || ns < ps)) || (ns == 0 && ps != 0) {
+				out.shadow[i] = 1
+			}
 		}
-		ns, ps := next.shadow[i], prev.shadow[i]
-		if (ns != 0 && (ps == 0 || ns < ps)) || (ns == 0 && ps != 0) {
-			out.shadow[i] = 1
-		}
-	}
+		return true
+	})
 	return out
 }
 

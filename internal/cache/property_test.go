@@ -256,6 +256,152 @@ func TestPropertyTransferMonotone(t *testing.T) {
 	}
 }
 
+// randState drives a random access sequence into a fresh state.
+func randState(d *Domain, rng *rand.Rand, blocks, n int) *State {
+	st := d.NewState()
+	for _, b := range randSeq(rng, blocks, n) {
+		d.Transfer(st, Access{First: b, Count: 1})
+	}
+	return st
+}
+
+// TestPropertyFilteredOpsMatchUnfiltered is the dirty-set invariant the
+// partitioned fixpoint rests on: a Domain restricted to a set filter must
+// behave exactly like the unrestricted Domain *on the owned sets*, and its
+// joins must leave un-owned entries of the destination untouched.
+func TestPropertyFilteredOpsMatchUnfiltered(t *testing.T) {
+	const blocks, sets, assoc = 24, 4, 3
+	l := propLayout(t, blocks, sets, assoc)
+	full := NewDomain(l)
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		owned := []int{rng.Intn(sets)}
+		if rng.Intn(2) == 0 {
+			owned = append(owned, rng.Intn(sets))
+		}
+		part := &Domain{L: l, Refined: true, Filter: NewSetFilter(sets, owned)}
+
+		a := randState(full, rng, blocks, 30)
+		b := randState(full, rng, blocks, 30)
+
+		// Filtered join: owned entries equal the full join, others untouched.
+		fullJoined := a.Clone()
+		full.JoinInto(fullJoined, b)
+		partJoined := a.Clone()
+		partChanged := part.JoinInto(partJoined, b)
+		for blk := 0; blk < blocks; blk++ {
+			id := layout.BlockID(blk)
+			want := a // un-owned: join must not have written
+			if part.Filter.Contains(l.SetOf(id)) {
+				want = fullJoined
+			}
+			wm, _ := want.Must(id)
+			gm, _ := partJoined.Must(id)
+			ws, _ := want.Shadow(id)
+			gs, _ := partJoined.Shadow(id)
+			if wm != gm || ws != gs {
+				t.Fatalf("seed %d: block %d (set %d, owned=%v): got must/shadow %d/%d, want %d/%d",
+					seed, blk, l.SetOf(id), part.Filter.Contains(l.SetOf(id)), gm, gs, wm, ws)
+			}
+		}
+		// The changed flag must agree with filtered equality.
+		if partChanged == part.Equal(a, partJoined) {
+			t.Fatalf("seed %d: JoinInto changed=%v but filtered Equal=%v",
+				seed, partChanged, part.Equal(a, partJoined))
+		}
+
+		// Filtered Leq/Equal ignore differences outside the filter: a state
+		// perturbed only on un-owned sets stays filtered-equal.
+		perturbed := a.Clone()
+		for blk := 0; blk < blocks; blk++ {
+			id := layout.BlockID(blk)
+			if !part.Filter.Contains(l.SetOf(id)) {
+				perturbed.SetMust(id, assoc)
+				perturbed.SetShadow(id, 1)
+			}
+		}
+		if !part.Equal(a, perturbed) || !part.Leq(a, perturbed) || !part.Leq(perturbed, a) {
+			t.Fatalf("seed %d: un-owned perturbation visible through the filter", seed)
+		}
+		// And the join is still an upper bound through the filtered Leq.
+		if !part.Leq(a, partJoined) || !part.Leq(b, partJoined) {
+			t.Fatalf("seed %d: filtered join not an upper bound on owned sets", seed)
+		}
+	}
+}
+
+// TestPropertyCopyFromMatchesClone: CopyFrom into a reused state — including
+// across bottom transitions — must be indistinguishable from Clone.
+func TestPropertyCopyFromMatchesClone(t *testing.T) {
+	const blocks, assoc = 10, 4
+	l := propLayout(t, blocks, 1, assoc)
+	d := NewDomain(l)
+	dst := d.NewState()
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var src *State
+		switch seed % 3 {
+		case 0:
+			src = randState(d, rng, blocks, 25)
+		case 1:
+			src = Bottom()
+		default:
+			src = d.NewState()
+		}
+		if seed%2 == 0 {
+			dst.SetBottom() // must not poison the next CopyFrom
+		}
+		dst.CopyFrom(src)
+		if !dst.Equal(src) || !src.Equal(dst) {
+			t.Fatalf("seed %d: CopyFrom result differs from source", seed)
+		}
+		if !src.IsBottom {
+			// Deep copy: mutating dst must not write through to src.
+			d.Transfer(dst, Access{First: 0, Count: 1})
+			if dst.Equal(src) && src.MustCount() != dst.MustCount() {
+				t.Fatalf("seed %d: CopyFrom aliased source buffers", seed)
+			}
+			dst.CopyFrom(src)
+			if !dst.Equal(src) {
+				t.Fatalf("seed %d: second CopyFrom differs from source", seed)
+			}
+		}
+	}
+}
+
+// TestPropertyPoolReuse: the pool hands back usable buffers, counts reuse
+// accurately, and a recycled state carries no trace of its previous life
+// once reinitialized per the ownership rules.
+func TestPropertyPoolReuse(t *testing.T) {
+	const blocks, assoc = 10, 4
+	l := propLayout(t, blocks, 1, assoc)
+	d := NewDomain(l)
+	p := NewPool(l.NumBlocks)
+
+	ref := randState(d, rng40(), blocks, 25)
+	s1 := p.Get()
+	s1.CopyFrom(ref)
+	if !s1.Equal(ref) {
+		t.Fatal("pooled state differs from its source after CopyFrom")
+	}
+	p.Put(s1)
+	s2 := p.Get()
+	if s2 != s1 {
+		t.Fatal("free list did not hand back the recycled state")
+	}
+	s2.SetBottom()
+	s2.CopyFrom(ref)
+	if !s2.Equal(ref) {
+		t.Fatal("recycled state differs from source after SetBottom+CopyFrom")
+	}
+	st := p.Stats()
+	if st.Gets != 2 || st.News != 1 || st.Puts != 1 || st.Reused() != 1 {
+		t.Fatalf("stats %+v, want Gets=2 News=1 Puts=1 Reused=1", st)
+	}
+}
+
+func rng40() *rand.Rand { return rand.New(rand.NewSource(40)) }
+
 // TestQuickCloneEquality uses testing/quick to fuzz Clone/Equal consistency.
 func TestQuickCloneEquality(t *testing.T) {
 	const blocks, assoc = 8, 4

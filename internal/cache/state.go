@@ -33,12 +33,12 @@ type State struct {
 }
 
 // NewState returns the empty-cache state over numBlocks blocks: nothing is
-// guaranteed cached and nothing may be cached.
+// guaranteed cached and nothing may be cached. Both vectors share one
+// backing allocation (the fixpoint materializes one state per block × flow,
+// so halving the allocation count matters).
 func NewState(numBlocks int) *State {
-	return &State{
-		must:   make([]uint16, numBlocks),
-		shadow: make([]uint16, numBlocks),
-	}
+	buf := make([]uint16, 2*numBlocks)
+	return &State{must: buf[:numBlocks:numBlocks], shadow: buf[numBlocks:]}
 }
 
 // Bottom returns the unreachable state (identity of join).
@@ -57,10 +57,11 @@ func (s *State) Clone() *State {
 	if s.IsBottom {
 		return Bottom()
 	}
-	return &State{
-		must:   append([]uint16(nil), s.must...),
-		shadow: append([]uint16(nil), s.shadow...),
-	}
+	n := len(s.must)
+	buf := make([]uint16, 2*n)
+	copy(buf[:n], s.must)
+	copy(buf[n:], s.shadow)
+	return &State{must: buf[:n:n], shadow: buf[n:]}
 }
 
 // CopyFrom makes s a deep copy of src, reusing s's buffers when they are
@@ -74,15 +75,34 @@ func (s *State) CopyFrom(src *State) {
 		return
 	}
 	n := len(src.must)
-	if cap(s.must) < n {
-		s.must = make([]uint16, n)
-		s.shadow = make([]uint16, n)
+	if cap(s.must) < n || cap(s.shadow) < n {
+		buf := make([]uint16, 2*n)
+		s.must = buf[:n:n]
+		s.shadow = buf[n:]
 	}
 	s.must = s.must[:n]
 	s.shadow = s.shadow[:n]
 	copy(s.must, src.must)
 	copy(s.shadow, src.shadow)
 	s.IsBottom = false
+}
+
+// SetBottom marks s unreachable while keeping its buffers, so a later
+// CopyFrom (e.g. via JoinInto's bottom case) reuses them instead of
+// allocating. The pooled counterpart of Bottom().
+func (s *State) SetBottom() { s.IsBottom = true }
+
+// CopySets overwrites s's entries in the given cache sets with src's,
+// leaving all other entries untouched. Both states must be non-bottom and of
+// equal size; numSets is the cache-set count the block universe is strided
+// by. Used to stitch per-set-group fixpoint results into one dense state.
+func (s *State) CopySets(src *State, sets []int, numSets int) {
+	for _, set := range sets {
+		for i := set; i < len(s.must); i += numSets {
+			s.must[i] = src.must[i]
+			s.shadow[i] = src.shadow[i]
+		}
+	}
 }
 
 // Equal reports structural equality.

@@ -62,7 +62,7 @@ func BenchmarkFixpointSetAssoc(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			opts := DefaultOptions()
 			opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 64, Assoc: 8}
-			_ = workers // opts.SetParallelism = workers (pre-PR probe)
+			opts.SetParallelism = workers
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -85,6 +85,14 @@ type Options struct {
 	// WideningThreshold is the number of in-state changes at a block before
 	// widening; 0 disables widening (§6.3).
 	WideningThreshold int
+	// SetParallelism >= 1 partitions the block universe into independent
+	// cache-set groups and runs one fixpoint per group, fanning the groups
+	// across up to SetParallelism goroutines (1 = partitioned but serial).
+	// 0 (the default) keeps the single dense fixpoint. Classifications are
+	// identical at every value; only wall-clock and allocation change. With
+	// a fully-associative cache (NumSets == 1) there is nothing to split and
+	// the dense engine runs regardless.
+	SetParallelism int
 }
 
 // DefaultOptions mirrors the paper's experimental setup: 512-line 64-byte
@@ -144,6 +152,9 @@ type Result struct {
 
 	// Iterations counts worklist block processings (the paper's #Iteration).
 	Iterations int
+	// PoolStats reports the engine's scratch-state reuse: Gets - News is the
+	// number of state allocations the free list avoided.
+	PoolStats cache.PoolStats
 	// Branches counts conditional branches (= colors/2 when speculative).
 	Branches int
 	// Colors counts speculative flows considered.
@@ -230,6 +241,11 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (*Resul
 	}
 	g := cfg.New(prog)
 	idx := interval.Analyze(g)
+	if opts.SetParallelism >= 1 {
+		if res, handled, err := analyzePartitioned(ctx, prog, g, l, idx, opts); handled {
+			return res, err
+		}
+	}
 	e := newEngine(prog, g, l, idx, opts)
 	if err := e.run(ctx); err != nil {
 		return nil, err

@@ -42,6 +42,35 @@ type partKey struct {
 	src     ir.BlockID
 }
 
+// flowKey names a flow at a block for speculation-depth purposes: the normal
+// flow is {-1, -1}; an SS flow is its partition's (colorID, src). Unlike
+// partition ids (interned in encounter order, which differs between
+// engines), flow keys are stable across the dense and per-set-group engines.
+type flowKey struct {
+	colorID int
+	src     ir.BlockID
+}
+
+var normalFlow = flowKey{colorID: -1, src: -1}
+
+// depthOracle records the converged speculation depth per (branch block,
+// flow). The per-set partitioned analysis needs it because §6.2's dynamic
+// depth bounding classifies the branch-condition loads — state owned by
+// whichever set group holds those loads' cache sets — yet the resulting
+// budget steers lane propagation in every group. The group union holding all
+// branch-slice loads runs first with live depth computation; its converged
+// depths are then fixed constants for the remaining groups. The two systems
+// have the same least fixpoint: depths only grow b_h → b_m as states weaken
+// (monotone feedback), so running with the final depths from the start
+// over-approximates every live iterate yet agrees with the live system at
+// its fixpoint.
+type depthOracle map[depthKey]int
+
+type depthKey struct {
+	block ir.BlockID
+	flow  flowKey
+}
+
 // blockHeap is a worklist ordered by reverse postorder, which minimizes
 // re-iteration of downstream blocks.
 type blockHeap struct {
@@ -75,18 +104,22 @@ type engine struct {
 	// (Spectre v1); used by the lanes.
 	accessSpec map[int]cache.Access
 
-	S    []*cache.State
-	SS   []map[int]*cache.State
-	Lane []map[int]laneVal
+	S  []*cache.State
+	SS []map[int]*cache.State
+	// Lane[n] is indexed by color id and allocated lazily on the first lane
+	// reaching n (a dense slice: every condbr seeds all its colors, so maps
+	// only added bucket churn on the hottest join). budget < 0 marks a slot
+	// no lane has reached yet.
+	Lane [][]laneVal
 
 	// dirty flags: which flows at a block changed since last processed.
 	dirtyS    []bool
 	dirtySS   []map[int]bool
-	dirtyLane []map[int]bool
+	dirtyLane [][]bool
 
 	// change counters drive widening of speculative flows.
 	ssChanges   []map[int]int
-	laneChanges []map[int]int
+	laneChanges [][]int
 
 	colors    []*color
 	colorsAt  map[ir.BlockID][]*color
@@ -94,6 +127,17 @@ type engine struct {
 	partByKey map[partKey]int
 
 	pdom *cfg.PostDomTree
+
+	// pool recycles the engine's transfer/walk/classify scratch states; see
+	// cache.Pool for the ownership rules.
+	pool *cache.Pool
+	// oracle, when non-nil, supplies speculation depths instead of the live
+	// §6.2 classification (per-set-group engines that do not own the
+	// branch-slice loads' cache sets).
+	oracle depthOracle
+	// slices caches branchSlice per conditional-branch block: the slice is
+	// state-independent, and depthFor runs on every pop of a dirty condbr.
+	slices map[ir.BlockID]blockSlice
 
 	heap    blockHeap
 	inWork  []bool
@@ -106,6 +150,14 @@ type engine struct {
 }
 
 func newEngine(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options) *engine {
+	access, accessSpec := dataAccessMaps(prog, l, idx)
+	return newEngineShared(prog, g, l, idx, opts, access, accessSpec)
+}
+
+// newEngineShared builds an engine around precomputed access maps, so the
+// per-set-group engines of the partitioned analysis can share one resolution
+// pass (the maps are read-only from here on).
+func newEngineShared(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options, access, accessSpec map[int]cache.Access) *engine {
 	n := len(prog.Blocks)
 	e := &engine{
 		prog:        prog,
@@ -114,16 +166,17 @@ func newEngine(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.R
 		dom:         &cache.Domain{L: l, Refined: opts.RefinedJoin},
 		idx:         idx,
 		opts:        opts,
-		access:      make(map[int]cache.Access),
-		accessSpec:  make(map[int]cache.Access),
+		access:      access,
+		accessSpec:  accessSpec,
+		pool:        cache.NewPool(l.NumBlocks),
 		S:           make([]*cache.State, n),
 		SS:          make([]map[int]*cache.State, n),
-		Lane:        make([]map[int]laneVal, n),
+		Lane:        make([][]laneVal, n),
 		dirtyS:      make([]bool, n),
 		dirtySS:     make([]map[int]bool, n),
-		dirtyLane:   make([]map[int]bool, n),
+		dirtyLane:   make([][]bool, n),
 		ssChanges:   make([]map[int]int, n),
-		laneChanges: make([]map[int]int, n),
+		laneChanges: make([][]int, n),
 		colorsAt:    map[ir.BlockID][]*color{},
 		partByKey:   map[partKey]int{},
 		inWork:      make([]bool, n),
@@ -140,11 +193,8 @@ func newEngine(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.R
 	for i := range e.S {
 		e.S[i] = cache.Bottom()
 		e.SS[i] = map[int]*cache.State{}
-		e.Lane[i] = map[int]laneVal{}
 		e.dirtySS[i] = map[int]bool{}
-		e.dirtyLane[i] = map[int]bool{}
 		e.ssChanges[i] = map[int]int{}
-		e.laneChanges[i] = map[int]int{}
 	}
 	e.S[prog.Entry] = cache.NewState(l.NumBlocks)
 	e.dirtyS[prog.Entry] = true
@@ -154,15 +204,16 @@ func newEngine(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.R
 		e.loopHeader[loop.Header] = true
 	}
 
-	e.access, e.accessSpec = dataAccessMaps(prog, l, idx)
-
 	if opts.Speculative {
 		e.pdom = g.PostDominators()
+		e.slices = map[ir.BlockID]blockSlice{}
 		for _, b := range prog.Blocks {
 			t := b.Terminator()
 			if t == nil || t.Op != ir.OpCondBr || !g.Reachable(b.ID) {
 				continue
 			}
+			loads, resolved := branchSlice(b)
+			e.slices[b.ID] = blockSlice{loads: loads, resolved: resolved}
 			stop := e.pdom.ImmediatePostDom(b.ID)
 			for _, predicted := range []bool{true, false} {
 				c := &color{
@@ -233,8 +284,12 @@ func dataAccessMaps(prog *ir.Program, l *layout.Layout, idx *interval.Result) (a
 }
 
 // transferBlock pushes a cache state through all instructions of a block.
+// The returned state is pooled scratch: the caller must hand it back with
+// e.pool.Put once it has been joined into its targets (joins copy, so no
+// target retains it).
 func (e *engine) transferBlock(b *ir.Block, st *cache.State) *cache.State {
-	out := st.Clone()
+	out := e.pool.Get()
+	out.CopyFrom(st)
 	for i := range b.Instrs {
 		if acc, ok := e.access[b.Instrs[i].ID]; ok {
 			e.dom.Transfer(out, acc)
@@ -293,9 +348,25 @@ func (e *engine) joinSS(target ir.BlockID, pid int, st *cache.State) {
 // joinLane merges a lane value (state join, budget max) and re-enqueues on
 // change, widening after repeated growth.
 func (e *engine) joinLane(target ir.BlockID, colorID int, lv laneVal) {
-	cur, ok := e.Lane[target][colorID]
-	if !ok {
-		cur = laneVal{st: cache.Bottom()}
+	if e.Lane[target] == nil {
+		// One arena of bottom states for all colors at this block: the lane
+		// universe is dense (every mispredicted branch seeds all its colors),
+		// so batching the allocation beats per-color map inserts.
+		nc := len(e.colors)
+		lanes := make([]laneVal, nc)
+		arena := make([]cache.State, nc)
+		for i := range lanes {
+			arena[i].IsBottom = true
+			lanes[i] = laneVal{st: &arena[i], budget: -1}
+		}
+		e.Lane[target] = lanes
+		e.dirtyLane[target] = make([]bool, nc)
+		e.laneChanges[target] = make([]int, nc)
+	}
+	cur := &e.Lane[target][colorID]
+	fresh := cur.budget < 0
+	if fresh {
+		cur.budget = 0
 	}
 	widening := e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
 		e.laneChanges[target][colorID] >= e.opts.WideningThreshold
@@ -311,11 +382,7 @@ func (e *engine) joinLane(target ir.BlockID, colorID int, lv laneVal) {
 		cur.budget = lv.budget
 		changed = true
 	}
-	if !ok {
-		changed = true
-	}
-	e.Lane[target][colorID] = cur
-	if changed {
+	if changed || fresh {
 		e.laneChanges[target][colorID]++
 		e.dirtyLane[target][colorID] = true
 		e.enqueue(target)
@@ -346,12 +413,13 @@ func (e *engine) process(n ir.BlockID) {
 	// injectLanes starts the block's speculative flows from one source
 	// state (either the normal flow or a post-rollback SS flow — after a
 	// rollback, execution is architectural again and can itself
-	// mispredict, so SS flows must seed lanes too).
-	injectLanes := func(src, out *cache.State) {
+	// mispredict, so SS flows must seed lanes too). fk identifies the
+	// source flow for the depth oracle.
+	injectLanes := func(src, out *cache.State, fk flowKey) {
 		if !e.opts.Speculative || !isCondBr {
 			return
 		}
-		depth := e.depthFor(block, src)
+		depth := e.depthFor(block, src, fk)
 		if depth <= 0 {
 			return
 		}
@@ -368,7 +436,8 @@ func (e *engine) process(n ir.BlockID) {
 			for _, s := range e.g.Succs[n] {
 				e.joinS(s, out)
 			}
-			injectLanes(e.S[n], out)
+			injectLanes(e.S[n], out, normalFlow)
+			e.pool.Put(out)
 		}
 	}
 
@@ -378,8 +447,8 @@ func (e *engine) process(n ir.BlockID) {
 	for pid := range e.dirtySS[n] {
 		delete(e.dirtySS[n], pid)
 		st := e.SS[n][pid]
-		c := e.parts[pid].color
-		if n == c.stop {
+		p := e.parts[pid]
+		if n == p.color.stop {
 			e.joinS(n, st)
 			continue
 		}
@@ -387,13 +456,17 @@ func (e *engine) process(n ir.BlockID) {
 		for _, s := range e.g.Succs[n] {
 			e.joinSS(s, pid, out)
 		}
-		injectLanes(st, out)
+		injectLanes(st, out, flowKey{colorID: p.color.id, src: p.src})
+		e.pool.Put(out)
 	}
 
 	// Wrong-path lanes: explore the speculated side, accumulating a rollback
 	// state after every memory access within the budget.
 	for colorID := range e.dirtyLane[n] {
-		delete(e.dirtyLane[n], colorID)
+		if !e.dirtyLane[n][colorID] {
+			continue
+		}
+		e.dirtyLane[n][colorID] = false
 		lv := e.Lane[n][colorID]
 		c := e.colors[colorID]
 		out, rollback := e.laneWalk(block, lv)
@@ -405,16 +478,26 @@ func (e *engine) process(n ir.BlockID) {
 		if !rollback.IsBottom {
 			e.injectRollback(c, n, rollback)
 		}
+		e.pool.Put(out.st)
+		e.pool.Put(rollback)
 	}
 }
 
 // laneWalk pushes a lane through a block, consuming budget per instruction
 // and joining the state after each memory access into the rollback
-// accumulator (a rollback may occur at any moment, §5.1).
+// accumulator (a rollback may occur at any moment, §5.1). Both returned
+// states are pooled scratch the caller must Put back.
+//
+// The rollback accumulation points are structural — every memory access in
+// range, whether or not this engine's set filter owns it (a filtered
+// Transfer is then a no-op, but the rollback join must still happen so the
+// per-set-group engines inject the same SS flows as the dense engine).
 func (e *engine) laneWalk(b *ir.Block, lv laneVal) (laneVal, *cache.State) {
-	st := lv.st.Clone()
+	st := e.pool.Get()
+	st.CopyFrom(lv.st)
 	budget := lv.budget
-	rollback := cache.Bottom()
+	rollback := e.pool.Get()
+	rollback.SetBottom()
 	for i := range b.Instrs {
 		if budget == 0 {
 			break
@@ -450,20 +533,24 @@ func (e *engine) injectRollback(c *color, src ir.BlockID, st *cache.State) {
 	}
 }
 
-// depthFor implements §6.2: use b_h when every load feeding the branch
-// condition (within the branch block) is proved a must-hit against the
-// source state, b_m otherwise. As the fixpoint weakens states, the choice
-// can only move from b_h to b_m, so convergence is monotone.
-func (e *engine) depthFor(block *ir.Block, src *cache.State) int {
-	if !e.opts.DynamicDepthBounding {
-		return e.opts.DepthMiss
-	}
+// blockSlice is the cached branchSlice result for one condbr block.
+type blockSlice struct {
+	loads    map[int]bool
+	resolved bool
+}
+
+// branchSlice computes the backward slice of a block's branch condition
+// within the block: the load instruction ids feeding the condition, and
+// whether the condition is fully resolved by in-block computation. It is
+// purely structural (state-independent), so the per-set grouping can use it
+// to find the cache sets the §6.2 depth decision depends on.
+func branchSlice(block *ir.Block) (sliceLoads map[int]bool, resolved bool) {
 	t := block.Terminator()
 	if t.A.IsConst {
-		return e.opts.DepthHit
+		return nil, true
 	}
 	needed := map[ir.Reg]bool{t.A.Reg: true}
-	sliceLoads := map[int]bool{}
+	sliceLoads = map[int]bool{}
 	for i := len(block.Instrs) - 2; i >= 0; i-- {
 		in := &block.Instrs[i]
 		if !writesDst(in.Op) || !needed[in.Dst] {
@@ -481,12 +568,45 @@ func (e *engine) depthFor(block *ir.Block, src *cache.State) int {
 			needed[v] = true
 		}
 	}
-	if len(needed) > 0 {
-		// The condition depends on values computed before this block; we
-		// cannot cheaply prove the resolving loads hit.
+	// Unresolved register reads mean the condition depends on values computed
+	// before this block; we cannot cheaply prove the resolving loads hit.
+	return sliceLoads, len(needed) == 0
+}
+
+// depthFor implements §6.2: use b_h when every load feeding the branch
+// condition (within the branch block) is proved a must-hit against the
+// source state, b_m otherwise. As the fixpoint weakens states, the choice
+// can only move from b_h to b_m, so convergence is monotone. Engines running
+// behind a depth oracle look the flow's converged depth up instead (their
+// set filter does not cover the branch-slice loads' state).
+func (e *engine) depthFor(block *ir.Block, src *cache.State, fk flowKey) int {
+	if !e.opts.DynamicDepthBounding {
 		return e.opts.DepthMiss
 	}
-	st := src.Clone()
+	if e.oracle != nil {
+		if d, ok := e.oracle[depthKey{block: block.ID, flow: fk}]; ok {
+			return d
+		}
+		return e.opts.DepthMiss
+	}
+	return e.depthForLive(block, src)
+}
+
+func (e *engine) depthForLive(block *ir.Block, src *cache.State) int {
+	bs, ok := e.slices[block.ID]
+	if !ok {
+		bs.loads, bs.resolved = branchSlice(block)
+	}
+	if !bs.resolved {
+		return e.opts.DepthMiss
+	}
+	if len(bs.loads) == 0 {
+		return e.opts.DepthHit
+	}
+	sliceLoads := bs.loads
+	st := e.pool.Get()
+	st.CopyFrom(src)
+	defer e.pool.Put(st)
 	for i := range block.Instrs {
 		in := &block.Instrs[i]
 		acc, ok := e.access[in.ID]
@@ -499,6 +619,34 @@ func (e *engine) depthFor(block *ir.Block, src *cache.State) int {
 		e.dom.Transfer(st, acc)
 	}
 	return e.opts.DepthHit
+}
+
+// recordDepths replays §6.2's depth decision against the converged states of
+// every flow at every conditional branch, producing the oracle consumed by
+// the set groups that do not own the branch-slice loads' cache sets. At the
+// fixpoint the live decision equals the last one taken during iteration
+// (depth choice is monotone in the state), so the recorded depths are
+// exactly the ones the dense engine ends up using.
+func (e *engine) recordDepths() depthOracle {
+	o := depthOracle{}
+	for _, b := range e.prog.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		if !e.S[b.ID].IsBottom {
+			o[depthKey{block: b.ID, flow: normalFlow}] = e.depthForLive(b, e.S[b.ID])
+		}
+		for pid, st := range e.SS[b.ID] {
+			if st.IsBottom {
+				continue
+			}
+			p := e.parts[pid]
+			fk := flowKey{colorID: p.color.id, src: p.src}
+			o[depthKey{block: b.ID, flow: fk}] = e.depthForLive(b, st)
+		}
+	}
+	return o
 }
 
 func writesDst(op ir.Op) bool {
@@ -550,6 +698,7 @@ func (e *engine) result() *Result {
 		domain:     e.dom,
 		idx:        e.idx,
 	}
+	res.PoolStats = e.pool.Stats()
 	for _, c := range e.colors {
 		res.Flows = append(res.Flows, SpecFlow{
 			Branch:    c.branch,
@@ -565,24 +714,29 @@ func (e *engine) result() *Result {
 
 // classify walks every flow through every block once more, combining
 // per-access verdicts: an access is always-hit only if it is always-hit on
-// the normal flow and on every speculative flow passing through it.
+// the normal flow and on every speculative flow passing through it. Under a
+// set filter only owned accesses are judged (and recorded); foreign accesses
+// still appear in the walk but their transfers are no-ops and their verdicts
+// belong to the engine owning their sets.
 func (e *engine) classify(res *Result) {
+	st := e.pool.Get()
+	defer e.pool.Put(st)
 	for _, b := range e.prog.Blocks {
 		var flows []*cache.State
 		if !e.S[b.ID].IsBottom {
 			flows = append(flows, e.S[b.ID])
 		}
-		for _, st := range e.SS[b.ID] {
-			if !st.IsBottom {
-				flows = append(flows, st)
+		for _, f := range e.SS[b.ID] {
+			if !f.IsBottom {
+				flows = append(flows, f)
 			}
 		}
 		for fi, f := range flows {
-			st := f.Clone()
+			st.CopyFrom(f)
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
 				acc, ok := e.access[in.ID]
-				if !ok {
+				if !ok || !e.dom.Owns(acc) {
 					continue
 				}
 				cls := e.dom.Classify(st, acc)
@@ -597,7 +751,10 @@ func (e *engine) classify(res *Result) {
 		}
 		// Wrong-path verdicts from lanes (#SpMiss).
 		for _, lv := range e.Lane[b.ID] {
-			st := lv.st.Clone()
+			if lv.budget < 0 || lv.st.IsBottom {
+				continue
+			}
+			st.CopyFrom(lv.st)
 			budget := lv.budget
 			for i := range b.Instrs {
 				if budget == 0 {
@@ -606,7 +763,7 @@ func (e *engine) classify(res *Result) {
 				budget--
 				in := &b.Instrs[i]
 				acc, ok := e.accessSpec[in.ID]
-				if !ok {
+				if !ok || !e.dom.Owns(acc) {
 					continue
 				}
 				cls := e.dom.Classify(st, acc)

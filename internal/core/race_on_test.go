@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorOn marks builds under `go test -race`. The full-corpus
+// partition-equivalence sweeps are skipped there (the detector makes them an
+// order of magnitude slower); the partitioned fan-out itself is still raced
+// by TestPartitionedFanOutRace and the random-program equivalence test.
+const raceDetectorOn = true

@@ -131,6 +131,13 @@ func (l *Layout) BlockRangeOfElems(sym ir.SymbolID, lo, hi int64) (BlockID, int)
 // SetOf returns the cache set a block maps to.
 func (l *Layout) SetOf(b BlockID) int { return int(b) % l.Config.NumSets }
 
+// SetSpan returns the span of set's blocks within a dense per-block vector:
+// blocks map to sets round-robin (SetOf above), so set s owns exactly the
+// indices {s, s+NumSets, s+2·NumSets, …}. The per-set views of the cache
+// domain (filtered joins, per-set-group state stitching) iterate these spans
+// rather than re-deriving the mapping.
+func (l *Layout) SetSpan(set int) (start, stride int) { return set, l.Config.NumSets }
+
 // BlockName renders a block id as symbol[line-offset] for diagnostics,
 // matching the paper's decis_lev[1*] style.
 func (l *Layout) BlockName(b BlockID) string {

@@ -1,0 +1,68 @@
+// Package par provides the minimal fan-out primitive shared by the
+// per-cache-set parallel fixpoint (internal/core) without creating an import
+// cycle with internal/runner's job-level pool.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach calls fn(i) for every i in [0, n), spreading calls across up to
+// workers goroutines, and returns once all calls have completed. With
+// workers <= 1 (or n <= 1) everything runs inline on the caller.
+//
+// A panic inside fn stops the pool (workers finish their current call and
+// pick up no further work) and the first panic value is re-raised on the
+// calling goroutine, preserving the caller's recover-based isolation
+// (internal/runner wraps analyses in PanicError recovery; fan-out must not
+// let a worker panic escape to a bare goroutine and kill the process).
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     int64
+		stop     int32
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	worker := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				atomic.StoreInt32(&stop, 1)
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for atomic.LoadInt32(&stop) == 0 {
+			i := atomic.AddInt64(&next, 1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,78 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 17} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			counts := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachWorkersExceedN(t *testing.T) {
+	var calls int32
+	ForEach(64, 3, func(i int) { atomic.AddInt32(&calls, 1) })
+	if calls != 3 {
+		t.Fatalf("got %d calls, want 3", calls)
+	}
+}
+
+func TestForEachInlineWhenSerial(t *testing.T) {
+	// workers <= 1 must run on the calling goroutine, in order.
+	var order []int
+	ForEach(1, 4, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order %v, want 0..3 ascending", order)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(workers, 50, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestForEachPanicStopsPool(t *testing.T) {
+	// After a panic the pool must stop handing out work: with 1 extra-slow
+	// panic at the first index and many pending indices, far fewer than n
+	// calls should happen. We only assert no *new* work starts after stop is
+	// observed — deterministically, every call that runs must see an index in
+	// range (no double-dispatch past n).
+	var calls int32
+	func() {
+		defer func() { recover() }()
+		ForEach(4, 1000, func(i int) {
+			atomic.AddInt32(&calls, 1)
+			panic("stop")
+		})
+	}()
+	if c := atomic.LoadInt32(&calls); c < 1 || c > 4 {
+		t.Fatalf("%d calls ran after panic, want 1..4 (one per worker at most)", c)
+	}
+}

@@ -57,6 +57,16 @@ func WithDynamicDepthBounding(on bool) Option {
 	return func(c *Config) { c.DynamicDepthBounding = on }
 }
 
+// WithSetParallelism partitions the analysis into independent cache-set
+// groups and fans the per-group fixpoints across up to n goroutines (1 =
+// partitioned but serial; 0, the default, keeps the single dense fixpoint).
+// Classifications are identical at every value — only wall-clock and
+// allocation behavior change — so it is purely a performance knob for
+// set-associative cache configurations on multicore hosts.
+func WithSetParallelism(n int) Option {
+	return func(c *Config) { c.SetParallelism = n }
+}
+
 // WithMaxUnroll caps full unrolling of constant-trip loops at lowering
 // time. It only affects CompileOpts (and the compilations AnalyzeBatch
 // performs); analysis entry points ignore it.

@@ -101,6 +101,11 @@ type Config struct {
 	RefinedJoin bool
 	// MaxUnroll caps full unrolling of constant-trip loops.
 	MaxUnroll int
+	// SetParallelism >= 1 partitions the analysis by independent cache-set
+	// groups and fans the per-group fixpoints across up to that many
+	// goroutines (1 = partitioned but serial). 0, the default, runs the
+	// single dense fixpoint. Results are identical at every value.
+	SetParallelism int
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -127,6 +132,7 @@ func (c Config) coreOptions() core.Options {
 	o.DynamicDepthBounding = c.DynamicDepthBounding
 	o.Strategy = c.Strategy
 	o.RefinedJoin = c.RefinedJoin
+	o.SetParallelism = c.SetParallelism
 	return o
 }
 
