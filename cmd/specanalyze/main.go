@@ -18,23 +18,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"specabsint"
 )
 
 func main() {
 	var (
-		lines    = flag.Int("lines", 512, "total cache lines")
-		lineSize = flag.Int("linesize", 64, "bytes per cache line")
-		sets     = flag.Int("sets", 1, "cache sets (1 = fully associative)")
-		bm       = flag.Int("bm", 200, "speculation depth after a missing condition (instructions)")
-		bh       = flag.Int("bh", 20, "speculation depth after a hitting condition (instructions)")
-		nonspec  = flag.Bool("nonspec", false, "run the classic non-speculative analysis instead")
-		strategy = flag.String("strategy", "jit", "merge strategy: jit, rollback, partition")
-		timeout  = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
-		sim      = flag.Bool("sim", false, "also run the concrete speculative simulator")
-		verbose  = flag.Bool("v", false, "print every access verdict")
-		asJSON   = flag.Bool("json", false, "emit the full report as JSON")
+		lines      = flag.Int("lines", 512, "total cache lines")
+		lineSize   = flag.Int("linesize", 64, "bytes per cache line")
+		sets       = flag.Int("sets", 1, "cache sets (1 = fully associative)")
+		bm         = flag.Int("bm", 200, "speculation depth after a missing condition (instructions)")
+		bh         = flag.Int("bh", 20, "speculation depth after a hitting condition (instructions)")
+		nonspec    = flag.Bool("nonspec", false, "run the classic non-speculative analysis instead")
+		strategy   = flag.String("strategy", "jit", "merge strategy: jit, rollback, partition")
+		parallel   = flag.Int("parallel", 0, "cache-set fixpoint parallelism (0 = single dense fixpoint)")
+		timeout    = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
+		sim        = flag.Bool("sim", false, "also run the concrete speculative simulator")
+		verbose    = flag.Bool("v", false, "print every access verdict")
+		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -42,6 +47,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := startProfiles(*cpuProfile, *memProfile); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -63,6 +72,7 @@ func main() {
 		specabsint.WithDepths(*bm, *bh),
 		specabsint.WithSpeculation(!*nonspec),
 		specabsint.WithStrategy(strat),
+		specabsint.WithSetParallelism(*parallel),
 	}
 
 	ctx := context.Background()
@@ -86,6 +96,7 @@ func main() {
 	rep, err := specabsint.AnalyzeContext(ctx, prog, opts...)
 	if err != nil {
 		if errors.Is(err, specabsint.ErrCanceled) {
+			stopProfiles()
 			fmt.Fprintf(os.Stderr, "specanalyze: analysis exceeded %v\n", *timeout)
 			os.Exit(130)
 		}
@@ -154,6 +165,54 @@ func main() {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "specanalyze:", err)
 	os.Exit(1)
+}
+
+// profiles holds the pprof teardown state; stopProfiles is safe to call
+// multiple times and on the error-exit paths.
+var profiles struct {
+	cpuFile *os.File
+	memPath string
+	stopped bool
+}
+
+func startProfiles(cpuPath, memPath string) error {
+	profiles.memPath = memPath
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		profiles.cpuFile = f
+	}
+	return nil
+}
+
+func stopProfiles() {
+	if profiles.stopped {
+		return
+	}
+	profiles.stopped = true
+	if profiles.cpuFile != nil {
+		pprof.StopCPUProfile()
+		profiles.cpuFile.Close()
+	}
+	if profiles.memPath != "" {
+		f, err := os.Create(profiles.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specanalyze: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // flush recently freed objects out of the live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "specanalyze: memprofile:", err)
+		}
+	}
 }

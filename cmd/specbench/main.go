@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	specbench [-experiment all|fig2|table3|table4|table5|table6|table7|depth] [-workers N] [-timeout d]
+//	specbench [-experiment all|fig2|table3|table4|table5|table6|table7|depth|icache|geometry|fixpoint]
+//	          [-workers N] [-timeout d] [-cpuprofile f] [-memprofile f]
 //
 // The corpus sweeps fan out across -workers CPUs on a shared batch engine
 // (one compile per benchmark for the whole run); per-program results are
 // identical to the serial path. Ctrl-C or -timeout cancels the running
 // fixpoints mid-iteration.
+//
+// -experiment fixpoint (not part of "all") measures the engine's cost on the
+// reference medium kernel and writes a machine-readable report with the
+// seed-engine baseline to -benchout (default BENCH_fixpoint.json).
+// -cpuprofile / -memprofile write pprof profiles of whatever experiments ran.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"specabsint/internal/experiments"
@@ -26,10 +34,20 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "which experiment to run: all, fig2, table3, table4, table5, table6, table7, depth, icache, geometry")
+	which := flag.String("experiment", "all", "which experiment to run: all, fig2, table3, table4, table5, table6, table7, depth, icache, geometry, fixpoint")
 	workers := flag.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	benchOut := flag.String("benchout", "BENCH_fixpoint.json", "output path of the fixpoint benchmark report")
+	benchRounds := flag.Int("benchrounds", 0, "fixpoint benchmark rounds (0 = default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	setup := experiments.PaperSetup()
 	setup.Workers = *workers
 	setup.Pool = runner.New(*workers)
@@ -48,6 +66,7 @@ func main() {
 		}
 		start := time.Now()
 		if err := fn(); err != nil {
+			stopProfiles()
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintf(os.Stderr, "specbench: %s: canceled after %v\n",
 					name, time.Since(start).Round(time.Millisecond))
@@ -72,6 +91,67 @@ func main() {
 	run("depth", func() error { return depth(ctx, setup) })
 	run("icache", func() error { return icache(ctx, setup) })
 	run("geometry", func() error { return geometry(ctx, setup) })
+	if *which == "fixpoint" {
+		run("fixpoint", func() error { return fixpoint(*benchRounds, *benchOut) })
+	}
+}
+
+// startProfiles starts the requested pprof profiles and returns an
+// idempotent stop function that flushes them.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects out of the live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+func fixpoint(rounds int, outPath string) error {
+	rep, err := experiments.FixpointBench(rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fixpoint benchmark — %s, paper options, %d rounds\n", rep.Kernel, rep.Rounds)
+	fmt.Printf("  now:      %8.1f ms/op  %9d allocs/op  %d states pooled/op\n",
+		float64(rep.Now.NsPerOp)/1e6, rep.Now.AllocsPerOp, rep.StatesPooledPerOp)
+	fmt.Printf("  baseline: %8.1f ms/op  %9d allocs/op  (seed engine)\n",
+		float64(rep.Baseline.NsPerOp)/1e6, rep.Baseline.AllocsPerOp)
+	fmt.Printf("  alloc ratio: %.1fx fewer allocations\n", rep.AllocRatio)
+	if err := rep.WriteJSON(outPath); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
 }
 
 func fig2(setup experiments.Setup) error {

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/core"
+)
+
+// FixpointBaseline records the seed engine's cost on the reference kernel,
+// measured before the pooled fixpoint core landed (same kernel, same paper
+// options, same container class). BENCH_fixpoint.json carries it next to the
+// current numbers so the perf trajectory is visible in one file.
+var FixpointBaseline = FixpointSample{
+	NsPerOp:     324_000_000,
+	AllocsPerOp: 191_184,
+}
+
+// FixpointSample is one measurement of the full speculative fixpoint.
+type FixpointSample struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+}
+
+// FixpointReport is the machine-readable output of the fixpoint benchmark.
+type FixpointReport struct {
+	Kernel string         `json:"kernel"`
+	Rounds int            `json:"rounds"`
+	Now    FixpointSample `json:"now"`
+	// Baseline is the pre-pooling seed engine on the same kernel/options.
+	Baseline FixpointSample `json:"baseline"`
+	// AllocRatio is baseline allocs/op over current allocs/op (higher is
+	// better; the PR's acceptance bar was >= 5).
+	AllocRatio float64 `json:"alloc_ratio"`
+	// StatesPooledPerOp counts scratch states served from the engine's free
+	// list instead of the heap, per analysis.
+	StatesPooledPerOp int `json:"states_pooled_per_op"`
+	// Iterations is the fixpoint's worklist block count (a determinism
+	// canary: it must not vary run to run).
+	Iterations int `json:"iterations"`
+}
+
+// FixpointBench measures the full speculative fixpoint on the reference
+// medium kernel (g72, paper options) and returns the report. rounds <= 0
+// picks enough rounds for a stable median on a quiet machine.
+func FixpointBench(rounds int) (*FixpointReport, error) {
+	const kernel = "g72"
+	b, ok := bench.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("fixpoint: kernel %q not in corpus", kernel)
+	}
+	prog, err := bench.Compile(b.Code, 0)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+
+	// Warm-up run, also the source of the pool and iteration counters.
+	warm, err := core.Analyze(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rounds <= 0 {
+		rounds = 5
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := core.Analyze(prog, opts); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	rep := &FixpointReport{
+		Kernel: kernel,
+		Rounds: rounds,
+		Now: FixpointSample{
+			NsPerOp:     elapsed.Nanoseconds() / int64(rounds),
+			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(rounds),
+			BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(rounds),
+		},
+		Baseline:          FixpointBaseline,
+		StatesPooledPerOp: warm.PoolStats.Reused(),
+		Iterations:        warm.Iterations,
+	}
+	if rep.Now.AllocsPerOp > 0 {
+		rep.AllocRatio = float64(rep.Baseline.AllocsPerOp) / float64(rep.Now.AllocsPerOp)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *FixpointReport) WriteJSON(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
