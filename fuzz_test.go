@@ -1,0 +1,42 @@
+package specabsint
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzAnalyze asserts the analysis pipeline is total on type-checked
+// programs: whenever CompileOpts accepts an input, AnalyzeContext must
+// return a report or an error — never panic — under speculation-hostile
+// options. Lowering is bounded (small MaxUnroll, capped input size) so the
+// fuzzer explores program shapes rather than giant unrollings; the file
+// corpus lives in testdata/fuzz/FuzzAnalyze.
+func FuzzAnalyze(f *testing.F) {
+	for _, seed := range []string{
+		"int main() { return 0; }",
+		"int g0 = 1;\nint arr[8];\nint main(int inp) {\nif (inp >= 0 && inp < 8) { g0 = arr[inp]; }\nreturn g0;\n}\n",
+		"char ph[256];\nchar p;\nsecret int k;\nint main() {\nreg int i;\nreg int t;\nfor (i = 0; i < 256; i += 64) { t = ph[i]; }\nif (p == 0) { t = ph[0]; }\nt = ph[k & 255];\nreturn t;\n}\n",
+		"int a[4] = { 3, 1, 4, 1 };\nint main(int x) {\nfor (int i = 0; i < 4; i++) {\nif (a[i] == x) { return i; }\n}\nreturn -1;\n}\n",
+		"secret int sec;\nint sink;\nint arr0[16];\nint main(int inp) {\nsink = arr0[sec & 15];\nreturn inp;\n}\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		opts := []Option{
+			WithMaxUnroll(64),
+			WithDepths(8, 8),
+			WithCache(CacheConfig{LineSize: 32, NumSets: 2, Assoc: 2}),
+		}
+		p, err := CompileOpts(src, opts...)
+		if err != nil {
+			return // front-end rejections are FuzzParse's concern
+		}
+		rep, err := AnalyzeContext(context.Background(), p, opts...)
+		if err == nil && rep == nil {
+			t.Fatal("AnalyzeContext returned nil report and nil error")
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"specabsint/internal/cache"
+	"specabsint/internal/gen"
 	"specabsint/internal/layout"
 	"specabsint/internal/machine"
 )
@@ -114,7 +115,7 @@ func bigArm(stmt string, n int) string {
 func TestICacheSoundness(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		src := genProgram(rng)
+		src := gen.Source(rng)
 		prog := compile(t, src)
 		cc := icacheCfg(4 + int(seed%3)*4)
 		depth := []int{0, 10, 50}[seed%3]

@@ -9,9 +9,11 @@ import (
 	"specabsint/internal/bench"
 	"specabsint/internal/cache"
 	"specabsint/internal/cfg"
+	"specabsint/internal/gen"
 	"specabsint/internal/interval"
 	"specabsint/internal/ir"
 	"specabsint/internal/layout"
+	"specabsint/internal/machine"
 )
 
 // setAssocConfig is the geometry the partition tests run on: enough sets for
@@ -146,25 +148,33 @@ func TestPartitionedMatchesDenseStrategies(t *testing.T) {
 }
 
 // TestPartitionedMatchesDenseRandom is the property test: on random MiniC
-// programs (the soundness suite's generator) the pooled+partitioned engine
+// programs (the shared internal/gen generator) the pooled+partitioned engine
 // must classify exactly like the serial dense engine — including when the
-// grouping collapses and the dense fallback kicks in.
+// grouping collapses and the dense fallback kicks in — at SetParallelism
+// 0, 1, 4, and NumCPU. On the same corpus it re-checks the oracle soundness
+// property concretely: the partitioned verdicts must over-approximate a
+// forced-mispredict speculative execution (this sweep also runs under the
+// race detector, with a smaller corpus).
 func TestPartitionedMatchesDenseRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260805))
 	n := 40
-	if testing.Short() {
+	if raceDetectorOn || testing.Short() {
 		n = 8
 	}
+	workersList := []int{1, 4, runtime.NumCPU()}
 	for trial := 0; trial < n; trial++ {
-		src := genProgram(rng)
+		src := gen.Source(rng)
 		prog := compile(t, src)
 		opts := DefaultOptions()
 		opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 8, Assoc: 4}
+		opts.DepthMiss = 30
+		opts.DepthHit = 30
+		opts.SetParallelism = 0
 		dense, err := Analyze(prog, opts)
 		if err != nil {
 			t.Fatalf("trial %d: dense: %v", trial, err)
 		}
-		for _, w := range []int{1, 3} {
+		for _, w := range workersList {
 			opts.SetParallelism = w
 			part, err := Analyze(prog, opts)
 			if err != nil {
@@ -172,6 +182,18 @@ func TestPartitionedMatchesDenseRandom(t *testing.T) {
 			}
 			requireSameResult(t, fmt.Sprintf("trial %d workers=%d", trial, w), dense, part)
 		}
+		// Concrete oracle check on the partitioned configuration: identical
+		// results make one simulation cover every worker count.
+		opts.SetParallelism = workersList[len(workersList)-1]
+		simCfg := machine.Config{
+			Cache:           opts.Cache,
+			ForceMispredict: true,
+			WrongPathOOB:    true,
+			DepthMiss:       opts.DepthMiss,
+			DepthHit:        opts.DepthHit,
+			MaxSteps:        5_000_000,
+		}
+		checkSoundness(t, prog, opts, simCfg, fmt.Sprintf("trial %d partitioned", trial))
 	}
 }
 

@@ -52,6 +52,12 @@ func (bd *Builder) NewReg() Reg {
 	return r
 }
 
+// MarkSecretReg tags a register as a secret source (a `secret reg`
+// declaration, which has no Symbol to carry the tag).
+func (bd *Builder) MarkSecretReg(r Reg) {
+	bd.prog.SecretRegs = append(bd.prog.SecretRegs, r)
+}
+
 // Terminated reports whether the current block already ends in a terminator.
 func (bd *Builder) Terminated() bool {
 	return bd.current != nil && bd.current.Terminator() != nil

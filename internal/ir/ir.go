@@ -208,6 +208,10 @@ type Program struct {
 	NumRegs int
 	// NumInstrs is the total instruction count after Finalize.
 	NumInstrs int
+	// SecretRegs lists virtual registers holding secret-tagged values that
+	// never touch memory (`secret reg` declarations). Memory-resident
+	// secrets carry the tag on their Symbol instead.
+	SecretRegs []Reg
 	symByName map[string]*Symbol
 }
 

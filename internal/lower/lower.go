@@ -189,6 +189,9 @@ func (lw *lowerer) declareLocal(d *source.VarDecl) (binding, error) {
 	var b binding
 	if d.Storage == source.InReg {
 		b = binding{kind: bindReg, reg: lw.bd.NewReg(), decl: d}
+		if d.Secret {
+			lw.bd.MarkSecretReg(b.reg)
+		}
 	} else {
 		n := 1
 		if d.Type.IsArray {

@@ -380,3 +380,39 @@ func TestCyclesAccounting(t *testing.T) {
 		t.Errorf("cycles = %d, want %d", stats.Cycles, wantMin)
 	}
 }
+
+// TestConfigInputs: named scalars (main parameters, secrets) are preloaded
+// before execution, so one program replays across concrete input vectors.
+func TestConfigInputs(t *testing.T) {
+	prog := compile(t, `
+	secret int sec;
+	int main(int inp) {
+		if (inp > 3) { return 100 + sec; }
+		return sec;
+	}`)
+	run := func(inputs map[string]int64) int64 {
+		cfg := DefaultConfig()
+		cfg.DepthMiss, cfg.DepthHit = 0, 0
+		cfg.Inputs = inputs
+		stats, err := RunProgram(prog, cfg)
+		if err != nil {
+			t.Fatalf("run %v: %v", inputs, err)
+		}
+		return stats.Ret
+	}
+	if got := run(nil); got != 0 {
+		t.Errorf("zero inputs: ret = %d, want 0", got)
+	}
+	if got := run(map[string]int64{"inp": 5, "sec": 7}); got != 107 {
+		t.Errorf("inp=5 sec=7: ret = %d, want 107", got)
+	}
+	if got := run(map[string]int64{"inp": 1, "sec": 9}); got != 9 {
+		t.Errorf("inp=1 sec=9: ret = %d, want 9", got)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Inputs = map[string]int64{"nosuch": 1}
+	if _, err := RunProgram(prog, cfg); err == nil {
+		t.Error("unknown input symbol: want error")
+	}
+}

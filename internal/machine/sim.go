@@ -38,6 +38,13 @@ type Config struct {
 	BaseLatency int64
 	// MaxSteps bounds architectural execution.
 	MaxSteps int64
+	// Inputs preloads named memory-resident scalars (main parameters,
+	// secret-tagged variables, uninitialized globals) before execution, so
+	// one program can be replayed across concrete input vectors. The
+	// analyses treat exactly these cells as unknown, which makes any such
+	// assignment a trace the abstract result must over-approximate.
+	// Register-resident (`reg`) variables are not addressable here.
+	Inputs map[string]int64
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -195,6 +202,16 @@ func (s *Simulator) access(in *ir.Instr, sym ir.SymbolID, elem int64, speculativ
 // Run executes the program to completion.
 func (s *Simulator) Run() error {
 	st := s.m.NewState()
+	for name, v := range s.Cfg.Inputs {
+		sym := s.Prog.SymbolByName(name)
+		if sym == nil {
+			return fmt.Errorf("machine: input %q: no such symbol", name)
+		}
+		if sym.Len != 1 {
+			return fmt.Errorf("machine: input %q: not a scalar", name)
+		}
+		st.Mem[sym.ID][0] = v
+	}
 
 	hooksFor := func(spec bool) interp.Hooks {
 		return interp.Hooks{

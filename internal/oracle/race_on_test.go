@@ -1,0 +1,5 @@
+//go:build race
+
+package oracle
+
+const raceDetectorOn = true

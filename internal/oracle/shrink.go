@@ -1,0 +1,132 @@
+package oracle
+
+import "strings"
+
+// Shrink minimizes a failing MiniC program while keep(candidate) stays
+// true. keep must return true only for candidates that still compile AND
+// still exhibit the failure (cmd/specfuzz wraps the oracle accordingly);
+// Shrink itself is syntax-light and only uses brace counting to avoid
+// proposing obviously unbalanced candidates.
+//
+// The reduction loop interleaves three passes until a full round makes no
+// progress:
+//
+//   - chunk removal (ddmin-style): delete brace-balanced line windows,
+//     halving the window size down to single lines;
+//   - flattening: delete an opening line (`if (...) {`, `for (...) {`)
+//     together with its matching `}`, keeping the body;
+//   - simplification: rewrite `} else {` to `}` + dropping the else arm is
+//     covered by chunk removal, so no dedicated pass is needed.
+//
+// Shrink never returns a candidate keep rejected; if nothing can be
+// removed, the input is returned unchanged.
+func Shrink(src string, keep func(string) bool) string {
+	lines := splitLines(src)
+	for {
+		reduced := false
+		if next, ok := chunkPass(lines, keep); ok {
+			lines = next
+			reduced = true
+		}
+		if next, ok := flattenPass(lines, keep); ok {
+			lines = next
+			reduced = true
+		}
+		if !reduced {
+			return join(lines)
+		}
+	}
+}
+
+func splitLines(src string) []string {
+	raw := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	out := make([]string, 0, len(raw))
+	for _, l := range raw {
+		out = append(out, l)
+	}
+	return out
+}
+
+func join(lines []string) string { return strings.Join(lines, "\n") + "\n" }
+
+// braceDelta returns the net brace change of a line and the lowest running
+// depth reached inside it (both ignoring braces in comments/strings, which
+// generated programs don't contain).
+func braceDelta(line string) (delta, min int) {
+	for _, r := range line {
+		switch r {
+		case '{':
+			delta++
+		case '}':
+			delta--
+		}
+		if delta < min {
+			min = delta
+		}
+	}
+	return delta, min
+}
+
+// removable reports whether deleting lines[i:j] keeps the file
+// brace-balanced: the removed region must be internally balanced and never
+// dip below its entry depth (so it doesn't steal a closer from an enclosing
+// block).
+func removable(lines []string, i, j int) bool {
+	delta, depth := 0, 0
+	for _, l := range lines[i:j] {
+		d, min := braceDelta(l)
+		if depth+min < 0 {
+			return false
+		}
+		depth += d
+		delta += d
+	}
+	return delta == 0
+}
+
+// chunkPass tries to delete brace-balanced windows, largest first. It
+// returns the first reduced variant found (the caller loops to a fixpoint).
+func chunkPass(lines []string, keep func(string) bool) ([]string, bool) {
+	for size := len(lines) / 2; size >= 1; size /= 2 {
+		for i := 0; i+size <= len(lines); i++ {
+			if !removable(lines, i, i+size) {
+				continue
+			}
+			cand := append(append([]string{}, lines[:i]...), lines[i+size:]...)
+			if keep(join(cand)) {
+				return cand, true
+			}
+		}
+	}
+	return lines, false
+}
+
+// flattenPass tries to unwrap one block: delete a line that opens a block
+// (net +1 brace) together with its matching bare `}` closer, keeping the
+// body. This turns `if (c) { S }` into `S` and removes loop headers.
+func flattenPass(lines []string, keep func(string) bool) ([]string, bool) {
+	for i, l := range lines {
+		if d, _ := braceDelta(l); d != 1 {
+			continue
+		}
+		depth := 1
+		for j := i + 1; j < len(lines); j++ {
+			d, _ := braceDelta(lines[j])
+			depth += d
+			if depth == 0 {
+				if strings.TrimSpace(lines[j]) != "}" {
+					break // `} else {` closers need the whole construct gone
+				}
+				cand := make([]string, 0, len(lines)-2)
+				cand = append(cand, lines[:i]...)
+				cand = append(cand, lines[i+1:j]...)
+				cand = append(cand, lines[j+1:]...)
+				if keep(join(cand)) {
+					return cand, true
+				}
+				break
+			}
+		}
+	}
+	return lines, false
+}

@@ -1,0 +1,18 @@
+// Paper Fig. 2, scaled down, with a memory-resident secret index: preload
+// ph, branch on an uncached byte, then probe ph[k & 255]. The probe's cache
+// footprint depends on k, and the speculative analysis must not prove it
+// always-hit (the non-speculative analysis famously does).
+char ph[512];
+char l1[64];
+char l2[64];
+char p;
+secret int k;
+int main() {
+	reg int i;
+	reg int tmp;
+	for (i = 0; i < 512; i += 64) { tmp = ph[i]; }
+	if (p == 0) { tmp = l1[0]; }
+	else { tmp = l2[0]; }
+	tmp = ph[k & 255];
+	return tmp;
+}

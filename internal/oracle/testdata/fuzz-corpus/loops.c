@@ -1,0 +1,25 @@
+// Nested bounded loops around masked stores, a guarded unmasked load, and
+// secret-indexed accesses in both directions (load into the write-only sink,
+// store into the dedicated secarr) — the internal/gen secret-mode shape.
+int g0 = 3;
+int g1 = -5;
+int arr0[16];
+int arr1[8];
+secret int sec;
+int sink;
+int secarr[16];
+int main(int inp) {
+	for (int i = 0; i < 5; i++) {
+		arr0[g0 & 15] = (g1 + 2);
+		if (g0 < inp) {
+			g1 = arr1[g1 & 7];
+			for (int j = 0; j < 3; j++) {
+				g0 = g0 - 1;
+			}
+		}
+		sink = arr0[sec & 15];
+	}
+	if (g1 >= 0 && g1 < 8) { g0 = arr1[g1]; }
+	secarr[sec & 15] = g0;
+	return g0;
+}

@@ -1,0 +1,14 @@
+// Spectre v1 shape: a bounds-guarded unmasked access is architecturally
+// safe, but a mis-speculated guard reads pub[] out of bounds. The trailing
+// secret-indexed probe gives the leak-completeness property ground truth.
+int pub[16];
+int probe[64];
+secret int sec;
+int sink;
+int main(int inp) {
+	reg int x;
+	x = 0;
+	if (inp >= 0 && inp < 16) { x = pub[inp]; }
+	sink = probe[sec & 63];
+	return x;
+}

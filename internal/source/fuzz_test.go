@@ -1,0 +1,45 @@
+package source
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse asserts the front end is total: Parse never panics, and every
+// rejection is a *ParseError carrying a 1-based source position (the API
+// contract errors.go re-exports). Seed inputs cover the grammar; the file
+// corpus lives in testdata/fuzz/FuzzParse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"int main() { return 0; }",
+		"int g0 = 1;\nint arr[8];\nint main(int inp) {\narr[g0 & 7] = inp;\nreturn arr[0];\n}\n",
+		"char buf[64];\nsecret int k;\nint main() {\nreg int t;\nt = buf[k & 63];\nreturn t;\n}\n",
+		"int a[4] = { 1, 2, 3, 4 };\nint f(int x) { if (x < 0) { return -x; } return x; }\nint main(int el) { return f(el - 3); }\n",
+		"int main() { for (int i = 0; i < 4; i++) { if (i == 2) break; } return 0; }\n",
+		"int main() { return (1 + 2) * 3 >> 1 & 7; }",
+		"int main( {",
+		"int main() { return undeclared; }",
+		"int main() { int x = \x00; }",
+		"// comment only\n",
+		"int 0g = 1;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse rejection is not a *ParseError: %T: %v", err, err)
+			}
+			if pe.Line() < 1 || pe.Col() < 1 {
+				t.Fatalf("ParseError without a source position: %+v (input %q)", pe, src)
+			}
+			return
+		}
+		if prog == nil {
+			t.Fatalf("Parse returned nil program and nil error (input %q)", src)
+		}
+	})
+}

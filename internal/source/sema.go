@@ -29,7 +29,7 @@ func Check(prog *Program) error {
 		c.funcs[f.Name] = f
 	}
 	if _, ok := c.funcs["main"]; !ok {
-		return fmt.Errorf("program has no main function")
+		return errf(Pos{Line: 1, Col: 1}, "program has no main function")
 	}
 	for _, f := range prog.Funcs {
 		if err := c.checkFunc(f); err != nil {

@@ -57,6 +57,11 @@ func Analyze(prog *ir.Program) *Result {
 			res.Arrays[s.ID] = true
 		}
 	}
+	// `secret reg` declarations have no Symbol; the lowerer tags the
+	// register directly.
+	for _, r := range prog.SecretRegs {
+		res.Regs[r] = true
+	}
 
 	tainted := func(v ir.Value) bool {
 		return !v.IsConst && res.Regs[v.Reg]
