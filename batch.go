@@ -63,6 +63,7 @@ func AnalyzeBatch(ctx context.Context, jobs []BatchJob, opts ...Option) ([]Batch
 			Name:      j.Name,
 			Source:    j.Source,
 			MaxUnroll: cfg.MaxUnroll,
+			Passes:    cfg.Passes,
 			Opts:      cfg.coreOptions(),
 			Mode:      runner.ModeSideChannel,
 		}

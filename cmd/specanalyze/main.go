@@ -32,6 +32,7 @@ func main() {
 		bm         = flag.Int("bm", 200, "speculation depth after a missing condition (instructions)")
 		bh         = flag.Int("bh", 20, "speculation depth after a hitting condition (instructions)")
 		nonspec    = flag.Bool("nonspec", false, "run the classic non-speculative analysis instead")
+		passesFlag = flag.String("passes", "on", "analysis-preserving pass pipeline (SCCP, copy propagation, branch resolution, DCE): on or off")
 		strategy   = flag.String("strategy", "jit", "merge strategy: jit, rollback, partition")
 		parallel   = flag.Int("parallel", 0, "cache-set fixpoint parallelism (0 = single dense fixpoint)")
 		timeout    = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
@@ -67,12 +68,22 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
+	var runPasses bool
+	switch *passesFlag {
+	case "on":
+		runPasses = true
+	case "off":
+		runPasses = false
+	default:
+		fatal(fmt.Errorf("-passes must be on or off, got %q", *passesFlag))
+	}
 	opts := []specabsint.Option{
 		specabsint.WithCache(specabsint.CacheConfig{LineSize: *lineSize, NumSets: *sets, Assoc: *lines / *sets}),
 		specabsint.WithDepths(*bm, *bh),
 		specabsint.WithSpeculation(!*nonspec),
 		specabsint.WithStrategy(strat),
 		specabsint.WithSetParallelism(*parallel),
+		specabsint.WithPasses(runPasses),
 	}
 
 	ctx := context.Background()

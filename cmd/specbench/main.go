@@ -39,6 +39,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	benchOut := flag.String("benchout", "BENCH_fixpoint.json", "output path of the fixpoint benchmark report")
 	benchRounds := flag.Int("benchrounds", 0, "fixpoint benchmark rounds (0 = default)")
+	minSpeedup := flag.Float64("minspeedup", 0, "fail the fixpoint experiment if the pass-pipeline speedup falls below this (0 = don't assert)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -92,7 +93,7 @@ func main() {
 	run("icache", func() error { return icache(ctx, setup) })
 	run("geometry", func() error { return geometry(ctx, setup) })
 	if *which == "fixpoint" {
-		run("fixpoint", func() error { return fixpoint(*benchRounds, *benchOut) })
+		run("fixpoint", func() error { return fixpoint(*benchRounds, *benchOut, *minSpeedup) })
 	}
 }
 
@@ -136,21 +137,41 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func fixpoint(rounds int, outPath string) error {
+func fixpoint(rounds int, outPath string, minSpeedup float64) error {
 	rep, err := experiments.FixpointBench(rounds)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Fixpoint benchmark — %s, paper options, %d rounds\n", rep.Kernel, rep.Rounds)
-	fmt.Printf("  now:      %8.1f ms/op  %9d allocs/op  %d states pooled/op\n",
+	fmt.Printf("  now:         %8.1f ms/op  %9d allocs/op  %d states pooled/op\n",
 		float64(rep.Now.NsPerOp)/1e6, rep.Now.AllocsPerOp, rep.StatesPooledPerOp)
-	fmt.Printf("  baseline: %8.1f ms/op  %9d allocs/op  (seed engine)\n",
+	fmt.Printf("  baseline:    %8.1f ms/op  %9d allocs/op  (seed engine)\n",
 		float64(rep.Baseline.NsPerOp)/1e6, rep.Baseline.AllocsPerOp)
+	fmt.Printf("  with passes: %8.1f ms/op  %9d allocs/op  (%d vs %d iterations)\n",
+		float64(rep.WithPasses.NsPerOp)/1e6, rep.WithPasses.AllocsPerOp,
+		rep.PassesIterations, rep.Iterations)
 	fmt.Printf("  alloc ratio: %.1fx fewer allocations\n", rep.AllocRatio)
+	fmt.Printf("  passes speedup: %.2fx\n", rep.PassesSpeedup)
+	if d := rep.ResolvedKernel; d != nil {
+		fmt.Printf("  %s (where branch resolution fires): %d branches resolved, lanes %d -> %d\n",
+			d.Kernel, d.ResolvedBranches, d.LanesBefore, d.LanesAfter)
+		fmt.Printf("    off: %8.1f ms/op   on: %8.1f ms/op   speedup: %.2fx\n",
+			float64(d.Off.NsPerOp)/1e6, float64(d.On.NsPerOp)/1e6, d.Speedup)
+	}
 	if err := rep.WriteJSON(outPath); err != nil {
 		return err
 	}
 	fmt.Printf("  wrote %s\n", outPath)
+	if minSpeedup > 0 {
+		if rep.PassesSpeedup < minSpeedup {
+			return fmt.Errorf("pass-pipeline speedup %.2fx on %s below required %.2fx — wall-clock regression",
+				rep.PassesSpeedup, rep.Kernel, minSpeedup)
+		}
+		if d := rep.ResolvedKernel; d != nil && d.Speedup < minSpeedup {
+			return fmt.Errorf("pass-pipeline speedup %.2fx on %s below required %.2fx — wall-clock regression",
+				d.Speedup, d.Kernel, minSpeedup)
+		}
+	}
 	return nil
 }
 

@@ -4,61 +4,106 @@
 //
 // Usage:
 //
-//	vcfgdump [-ir] [-dot] [-colors] program.c
+//	vcfgdump [-ir] [-dot] [-colors] [-verify] [-passes] program.c
+//
+// -passes runs the analysis-preserving pass pipeline one pass at a time and
+// prints the effective block and speculative-lane counts before and after
+// each pass; -verify re-runs the structural IR verifier on the final program
+// and prints its verdict (non-zero exit on diagnostics).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"specabsint/internal/cfg"
 	"specabsint/internal/core"
 	"specabsint/internal/ir"
+	"specabsint/internal/irverify"
 	"specabsint/internal/lower"
+	"specabsint/internal/passes"
 	"specabsint/internal/source"
 )
 
 func main() {
+	// All failures funnel through run's error — including output errors,
+	// which fmt.Println would silently drop, letting a failed dump exit 0.
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vcfgdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("vcfgdump", flag.ExitOnError)
 	var (
-		showIR     = flag.Bool("ir", false, "print the lowered IR")
-		showDOT    = flag.Bool("dot", true, "print the CFG in DOT format")
-		showVCFG   = flag.Bool("vcfg", false, "print the CFG with the virtual (speculative) control flows as dashed edges")
-		showColors = flag.Bool("colors", false, "print the speculative flows (colors)")
-		maxUnroll  = flag.Int("unroll", 64, "loop unrolling cap (small keeps the graph readable)")
+		showIR     = fs.Bool("ir", false, "print the lowered IR")
+		showDOT    = fs.Bool("dot", true, "print the CFG in DOT format")
+		showVCFG   = fs.Bool("vcfg", false, "print the CFG with the virtual (speculative) control flows as dashed edges")
+		showColors = fs.Bool("colors", false, "print the speculative flows (colors)")
+		maxUnroll  = fs.Int("unroll", 64, "loop unrolling cap (small keeps the graph readable)")
+		runPasses  = fs.Bool("passes", false, "run the pass pipeline one pass at a time, printing before/after block and lane counts")
+		verify     = fs.Bool("verify", false, "re-run the structural IR verifier on the final program and print the verdict")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vcfgdump [flags] program.c")
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	out := bufio.NewWriter(stdout)
+
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ast, err := source.Parse(string(src))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	prog, err := lower.Lower(ast, lower.Options{MaxUnroll: *maxUnroll})
 	if err != nil {
-		fatal(err)
+		return err
+	}
+
+	if *runPasses {
+		if err := dumpPasses(out, prog); err != nil {
+			return err
+		}
 	}
 	g := cfg.New(prog)
 
+	if *verify {
+		if diags := irverify.Diagnose(prog, g); len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintln(out, "verify:", d.String())
+			}
+			if err := out.Flush(); err != nil {
+				return err
+			}
+			return fmt.Errorf("verify: %d diagnostic(s)", len(diags))
+		}
+		fmt.Fprintf(out, "verify: OK (%d blocks, %d instructions, %d symbols)\n",
+			len(prog.Blocks), prog.NumInstrs, len(prog.Symbols))
+	}
+
 	if *showIR {
-		fmt.Println(prog.String())
+		fmt.Fprintln(out, prog.String())
 	}
 	if *showDOT && !*showVCFG {
-		fmt.Println(g.DOT())
+		fmt.Fprintln(out, g.DOT())
 	}
 	if *showVCFG {
 		opts := core.DefaultOptions()
 		res, err := core.Analyze(prog, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		dot := g.DOT()
 		dot = strings.TrimSuffix(strings.TrimSpace(dot), "}")
@@ -78,15 +123,15 @@ func main() {
 			}
 		}
 		sb.WriteString("}\n")
-		fmt.Println(sb.String())
+		fmt.Fprintln(out, sb.String())
 	}
 	if *showColors {
 		pdom := g.PostDominators()
-		fmt.Println("speculative flows (color = branch x predicted direction):")
+		fmt.Fprintln(out, "speculative flows (color = branch x predicted direction):")
 		n := 0
 		for _, b := range prog.Blocks {
 			t := b.Terminator()
-			if t == nil || t.Op != ir.OpCondBr || !g.Reachable(b.ID) {
+			if t == nil || t.Op != ir.OpCondBr || t.Resolved || !g.Reachable(b.ID) {
 				continue
 			}
 			succs := b.Succs()
@@ -95,17 +140,74 @@ func main() {
 			if int(stop) < len(prog.Blocks) {
 				stopName = prog.Blocks[stop].Label
 			}
-			fmt.Printf("  branch %-8s predict-T: speculate %s, rollback into %s, vn_stop %s\n",
+			fmt.Fprintf(out, "  branch %-8s predict-T: speculate %s, rollback into %s, vn_stop %s\n",
 				b.Label, prog.Blocks[succs[0]].Label, prog.Blocks[succs[1]].Label, stopName)
-			fmt.Printf("  branch %-8s predict-F: speculate %s, rollback into %s, vn_stop %s\n",
+			fmt.Fprintf(out, "  branch %-8s predict-F: speculate %s, rollback into %s, vn_stop %s\n",
 				b.Label, prog.Blocks[succs[1]].Label, prog.Blocks[succs[0]].Label, stopName)
 			n += 2
 		}
-		fmt.Printf("total colors: %d\n", n)
+		fmt.Fprintf(out, "total colors: %d\n", n)
 	}
+	return out.Flush()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vcfgdump:", err)
-	os.Exit(1)
+// dumpPasses applies the pipeline one pass at a time, printing the effective
+// block count (blocks reachable along taken-only edges) and speculative lane
+// count (unresolved conditional branches x 2 directions) around each pass.
+func dumpPasses(out io.Writer, prog *ir.Program) error {
+	type step struct {
+		name string
+		opts passes.Options
+	}
+	steps := []step{
+		{"sccp", passes.Options{SCCP: true}},
+		{"copyprop", passes.Options{CopyProp: true}},
+		{"resolve-branches", passes.Options{ResolveBranches: true}},
+		{"dce", passes.Options{DCE: true}},
+	}
+	fmt.Fprintln(out, "pass pipeline (before -> after):")
+	fmt.Fprintf(out, "  %-18s %-16s %-12s %s\n", "pass", "live blocks", "lanes", "effect")
+	blocks, lanes := effBlockCount(prog), prog.CondBranchCount()*2
+	fmt.Fprintf(out, "  %-18s %-16d %-12d -\n", "(input)", blocks, lanes)
+	for _, s := range steps {
+		res, err := passes.Run(prog, s.opts)
+		if err != nil {
+			return fmt.Errorf("pass %s: %w", s.name, err)
+		}
+		nb, nl := effBlockCount(prog), prog.CondBranchCount()*2
+		effect := "no change"
+		switch {
+		case res.FoldedOperands > 0:
+			effect = fmt.Sprintf("folded %d operand(s)", res.FoldedOperands)
+		case res.ResolvedBranches > 0:
+			effect = fmt.Sprintf("resolved %d branch(es)", res.ResolvedBranches)
+		case res.NopsInserted > 0:
+			effect = fmt.Sprintf("nopped %d instruction(s)", res.NopsInserted)
+		}
+		fmt.Fprintf(out, "  %-18s %-16s %-12s %s\n", s.name,
+			fmt.Sprintf("%d -> %d", blocks, nb), fmt.Sprintf("%d -> %d", lanes, nl), effect)
+		blocks, lanes = nb, nl
+	}
+	return nil
+}
+
+// effBlockCount counts blocks reachable from entry along effective successor
+// edges (resolved branches contribute only their taken edge).
+func effBlockCount(prog *ir.Program) int {
+	reach := make([]bool, len(prog.Blocks))
+	stack := []ir.BlockID{prog.Entry}
+	reach[prog.Entry] = true
+	n := 1
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range prog.Blocks[b].EffectiveSuccs() {
+			if !reach[s] {
+				reach[s] = true
+				n++
+				stack = append(stack, s)
+			}
+		}
+	}
+	return n
 }

@@ -3,6 +3,8 @@ package specabsint
 import (
 	"context"
 	"testing"
+
+	"specabsint/internal/irverify"
 )
 
 // FuzzAnalyze asserts the analysis pipeline is total on type-checked
@@ -33,6 +35,12 @@ func FuzzAnalyze(f *testing.F) {
 		p, err := CompileOpts(src, opts...)
 		if err != nil {
 			return // front-end rejections are FuzzParse's concern
+		}
+		// Every accepted program must be structurally well-formed after
+		// lowering and the pass pipeline; a diagnostic here is a compiler
+		// bug, not a bad input.
+		if verr := irverify.Verify(p.Internal()); verr != nil {
+			t.Fatalf("compiled program fails the IR verifier: %v", verr)
 		}
 		rep, err := AnalyzeContext(context.Background(), p, opts...)
 		if err == nil && rep == nil {

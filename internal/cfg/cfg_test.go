@@ -1,9 +1,10 @@
-package cfg
+package cfg_test
 
 import (
 	"strings"
 	"testing"
 
+	"specabsint/internal/cfg"
 	"specabsint/internal/ir"
 	"specabsint/internal/lower"
 	"specabsint/internal/source"
@@ -47,7 +48,7 @@ func diamond(t *testing.T) *ir.Program {
 }
 
 func TestGraphEdges(t *testing.T) {
-	g := New(diamond(t))
+	g := cfg.New(diamond(t))
 	if len(g.Succs[0]) != 2 {
 		t.Fatalf("entry succs = %v", g.Succs[0])
 	}
@@ -60,7 +61,7 @@ func TestGraphEdges(t *testing.T) {
 }
 
 func TestRPOStartsAtEntry(t *testing.T) {
-	g := New(diamond(t))
+	g := cfg.New(diamond(t))
 	if g.RPO[0] != g.Prog.Entry {
 		t.Errorf("RPO[0] = %d, want entry %d", g.RPO[0], g.Prog.Entry)
 	}
@@ -70,7 +71,7 @@ func TestRPOStartsAtEntry(t *testing.T) {
 }
 
 func TestDominatorsDiamond(t *testing.T) {
-	g := New(diamond(t))
+	g := cfg.New(diamond(t))
 	dom := g.Dominators()
 	if dom.IDom[1] != 0 || dom.IDom[2] != 0 {
 		t.Errorf("idom(a)=%d idom(b)=%d, want 0,0", dom.IDom[1], dom.IDom[2])
@@ -90,7 +91,7 @@ func TestDominatorsDiamond(t *testing.T) {
 }
 
 func TestPostDominatorsDiamond(t *testing.T) {
-	g := New(diamond(t))
+	g := cfg.New(diamond(t))
 	pdom := g.PostDominators()
 	if pdom.ImmediatePostDom(0) != 3 {
 		t.Errorf("ipdom(entry) = %d, want join (3)", pdom.ImmediatePostDom(0))
@@ -120,7 +121,7 @@ func TestPostDominatorsMultipleExits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := New(prog)
+	g := cfg.New(prog)
 	pdom := g.PostDominators()
 	if pdom.ImmediatePostDom(entry) != pdom.VirtualExit {
 		t.Errorf("ipdom(entry) = %d, want virtual exit %d",
@@ -135,7 +136,7 @@ func TestNaturalLoopsSimple(t *testing.T) {
 			for (int i = 0; i < 10; i++) { s += i; }
 			return s;
 		}`)
-	g := New(prog)
+	g := cfg.New(prog)
 	loops := g.NaturalLoops(g.Dominators())
 	if len(loops) != 1 {
 		t.Fatalf("found %d loops, want 1", len(loops))
@@ -158,7 +159,7 @@ func TestNaturalLoopsNested(t *testing.T) {
 			}
 			return s;
 		}`)
-	g := New(prog)
+	g := cfg.New(prog)
 	loops := g.NaturalLoops(g.Dominators())
 	if len(loops) != 2 {
 		t.Fatalf("found %d loops, want 2", len(loops))
@@ -177,7 +178,7 @@ func TestNaturalLoopsNested(t *testing.T) {
 
 func TestNoLoopsInStraightLine(t *testing.T) {
 	prog := compile(t, "int main() { int x = 1; return x; }")
-	g := New(prog)
+	g := cfg.New(prog)
 	if loops := g.NaturalLoops(g.Dominators()); len(loops) != 0 {
 		t.Errorf("found %d loops in straight-line code", len(loops))
 	}
@@ -190,7 +191,7 @@ func TestWhileLoopDetected(t *testing.T) {
 			while (i < 100) { i += 3; }
 			return i;
 		}`)
-	g := New(prog)
+	g := cfg.New(prog)
 	loops := g.NaturalLoops(g.Dominators())
 	if len(loops) != 1 {
 		t.Fatalf("found %d loops, want 1", len(loops))
@@ -198,7 +199,7 @@ func TestWhileLoopDetected(t *testing.T) {
 }
 
 func TestDOTOutput(t *testing.T) {
-	g := New(diamond(t))
+	g := cfg.New(diamond(t))
 	dot := g.DOT()
 	for _, want := range []string{"digraph cfg", "b0 -> b1", "b0 -> b2", `label="T"`, `label="F"`} {
 		if !strings.Contains(dot, want) {
@@ -219,7 +220,7 @@ func TestUnreachableBlockHandled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := New(prog)
+	g := cfg.New(prog)
 	if g.Reachable(dead) {
 		t.Error("dead block should be unreachable")
 	}

@@ -128,6 +128,16 @@ type engine struct {
 
 	pdom *cfg.PostDomTree
 
+	// succs[n] is the effective successor list used for all state
+	// propagation: for a block ending in a Resolved CondBr only the taken
+	// edge carries flow (the emitted branch is unconditional). Dominators,
+	// post-dominators, and vn_stop placement keep using the full edge set.
+	succs [][]ir.BlockID
+	// effReach marks blocks reachable from entry along effective successors;
+	// blocks behind a resolved branch's dead edge can be entered neither
+	// architecturally nor speculatively, so they spawn no colors.
+	effReach []bool
+
 	// pool recycles the engine's transfer/walk/classify scratch states; see
 	// cache.Pool for the ownership rules.
 	pool *cache.Pool
@@ -204,12 +214,22 @@ func newEngineShared(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *inte
 		e.loopHeader[loop.Header] = true
 	}
 
+	e.succs = make([][]ir.BlockID, n)
+	for _, b := range prog.Blocks {
+		e.succs[b.ID] = b.EffectiveSuccs()
+	}
+	e.effReach = effectiveReachable(prog, e.succs)
+
 	if opts.Speculative {
 		e.pdom = g.PostDominators()
 		e.slices = map[ir.BlockID]blockSlice{}
 		for _, b := range prog.Blocks {
 			t := b.Terminator()
-			if t == nil || t.Op != ir.OpCondBr || !g.Reachable(b.ID) {
+			// Resolved branches are unconditional jumps in the emitted
+			// program: no misprediction, no colors. Blocks only reachable
+			// through a resolved branch's dead edge spawn none either — no
+			// execution, architectural or wrong-path, can enter them.
+			if t == nil || t.Op != ir.OpCondBr || t.Resolved || !e.effReach[b.ID] {
 				continue
 			}
 			loads, resolved := branchSlice(b)
@@ -233,6 +253,25 @@ func newEngineShared(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *inte
 		}
 	}
 	return e
+}
+
+// effectiveReachable marks blocks reachable from entry along effective
+// successor edges.
+func effectiveReachable(prog *ir.Program, succs [][]ir.BlockID) []bool {
+	reach := make([]bool, len(prog.Blocks))
+	stack := []ir.BlockID{prog.Entry}
+	reach[prog.Entry] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs[n] {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return reach
 }
 
 func (e *engine) enqueue(b ir.BlockID) {
@@ -407,7 +446,7 @@ func (e *engine) process(n ir.BlockID) {
 	block := e.prog.Block(n)
 
 	isCondBr := false
-	if t := block.Terminator(); t != nil && t.Op == ir.OpCondBr {
+	if t := block.Terminator(); t != nil && t.Op == ir.OpCondBr && !t.Resolved {
 		isCondBr = true
 	}
 	// injectLanes starts the block's speculative flows from one source
@@ -433,7 +472,7 @@ func (e *engine) process(n ir.BlockID) {
 		e.dirtyS[n] = false
 		if !e.S[n].IsBottom {
 			out := e.transferBlock(block, e.S[n])
-			for _, s := range e.g.Succs[n] {
+			for _, s := range e.succs[n] {
 				e.joinS(s, out)
 			}
 			injectLanes(e.S[n], out, normalFlow)
@@ -453,7 +492,7 @@ func (e *engine) process(n ir.BlockID) {
 			continue
 		}
 		out := e.transferBlock(block, st)
-		for _, s := range e.g.Succs[n] {
+		for _, s := range e.succs[n] {
 			e.joinSS(s, pid, out)
 		}
 		injectLanes(st, out, flowKey{colorID: p.color.id, src: p.src})
@@ -471,7 +510,7 @@ func (e *engine) process(n ir.BlockID) {
 		c := e.colors[colorID]
 		out, rollback := e.laneWalk(block, lv)
 		if out.budget > 0 {
-			for _, s := range e.g.Succs[n] {
+			for _, s := range e.succs[n] {
 				e.joinLane(s, colorID, out)
 			}
 		}
@@ -631,7 +670,7 @@ func (e *engine) recordDepths() depthOracle {
 	o := depthOracle{}
 	for _, b := range e.prog.Blocks {
 		t := b.Terminator()
-		if t == nil || t.Op != ir.OpCondBr {
+		if t == nil || t.Op != ir.OpCondBr || t.Resolved {
 			continue
 		}
 		if !e.S[b.ID].IsBottom {

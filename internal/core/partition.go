@@ -109,7 +109,9 @@ func partitionSets(prog *ir.Program, l *layout.Layout, opts Options, access, acc
 	if opts.Speculative && opts.DynamicDepthBounding {
 		for _, b := range prog.Blocks {
 			t := b.Terminator()
-			if t == nil || t.Op != ir.OpCondBr {
+			// Resolved branches spawn no colors, so their slice loads impose
+			// no cross-group depth dependence.
+			if t == nil || t.Op != ir.OpCondBr || t.Resolved {
 				continue
 			}
 			sliceLoads, resolved := branchSlice(b)

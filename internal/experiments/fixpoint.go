@@ -9,6 +9,8 @@ import (
 
 	"specabsint/internal/bench"
 	"specabsint/internal/core"
+	"specabsint/internal/ir"
+	"specabsint/internal/passes"
 )
 
 // FixpointBaseline records the seed engine's cost on the reference kernel,
@@ -29,20 +31,52 @@ type FixpointSample struct {
 
 // FixpointReport is the machine-readable output of the fixpoint benchmark.
 type FixpointReport struct {
-	Kernel string         `json:"kernel"`
-	Rounds int            `json:"rounds"`
-	Now    FixpointSample `json:"now"`
+	Kernel string `json:"kernel"`
+	Rounds int    `json:"rounds"`
+	// Now measures the engine on the raw lowered IR (passes off) — the same
+	// configuration Baseline was recorded under, keeping the pre-pooling
+	// comparison apples-to-apples across PRs.
+	Now FixpointSample `json:"now"`
 	// Baseline is the pre-pooling seed engine on the same kernel/options.
 	Baseline FixpointSample `json:"baseline"`
 	// AllocRatio is baseline allocs/op over current allocs/op (higher is
 	// better; the PR's acceptance bar was >= 5).
 	AllocRatio float64 `json:"alloc_ratio"`
+	// WithPasses measures the same fixpoint on the pass-pipeline output
+	// (SCCP + copy propagation + branch resolution + DCE): resolved branches
+	// spawn no speculative colors, so the engine solves a smaller flow
+	// system for byte-identical-or-tighter classifications.
+	WithPasses FixpointSample `json:"with_passes"`
+	// PassesSpeedup is Now ns/op over WithPasses ns/op (>= 1 means the
+	// pipeline pays for itself; the transform runs once, the fixpoint many
+	// iterations).
+	PassesSpeedup float64 `json:"passes_speedup"`
+	// PassesIterations is the transformed fixpoint's worklist block count,
+	// next to Iterations for the untransformed one.
+	PassesIterations int `json:"passes_iterations"`
+	// ResolvedKernel shows the pipeline on the corpus kernel where branch
+	// resolution fires hardest; g72 has no statically-decided branches, so
+	// its speedup hovers at 1.0x and this is where the lane reduction pays.
+	ResolvedKernel *ResolvedKernelDemo `json:"resolved_kernel,omitempty"`
 	// StatesPooledPerOp counts scratch states served from the engine's free
 	// list instead of the heap, per analysis.
 	StatesPooledPerOp int `json:"states_pooled_per_op"`
 	// Iterations is the fixpoint's worklist block count (a determinism
 	// canary: it must not vary run to run).
 	Iterations int `json:"iterations"`
+}
+
+// ResolvedKernelDemo is the pass pipeline measured on a kernel with
+// statically-decided branches: every resolved branch removes two speculative
+// lanes from the flow system the fixpoint has to solve.
+type ResolvedKernelDemo struct {
+	Kernel           string         `json:"kernel"`
+	ResolvedBranches int            `json:"resolved_branches"`
+	LanesBefore      int            `json:"lanes_before"`
+	LanesAfter       int            `json:"lanes_after"`
+	Off              FixpointSample `json:"off"`
+	On               FixpointSample `json:"on"`
+	Speedup          float64        `json:"speedup"`
 }
 
 // FixpointBench measures the full speculative fixpoint on the reference
@@ -58,10 +92,24 @@ func FixpointBench(rounds int) (*FixpointReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Second compile of the same kernel for the pass pipeline: the transform
+	// mutates the program in place, so the passes-off measurement needs its
+	// own untouched copy.
+	transformed, err := bench.Compile(b.Code, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := passes.Run(transformed, passes.Default()); err != nil {
+		return nil, err
+	}
 	opts := core.DefaultOptions()
 
-	// Warm-up run, also the source of the pool and iteration counters.
+	// Warm-up runs, also the source of the pool and iteration counters.
 	warm, err := core.Analyze(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	warmOn, err := core.Analyze(transformed, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -69,34 +117,98 @@ func FixpointBench(rounds int) (*FixpointReport, error) {
 		rounds = 5
 	}
 
-	var ms0, ms1 runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&ms0)
-	start := time.Now()
-	for i := 0; i < rounds; i++ {
-		if _, err := core.Analyze(prog, opts); err != nil {
-			return nil, err
-		}
+	now, err := timeAnalyze(prog, opts, rounds)
+	if err != nil {
+		return nil, err
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&ms1)
+	withPasses, err := timeAnalyze(transformed, opts, rounds)
+	if err != nil {
+		return nil, err
+	}
 
 	rep := &FixpointReport{
-		Kernel: kernel,
-		Rounds: rounds,
-		Now: FixpointSample{
-			NsPerOp:     elapsed.Nanoseconds() / int64(rounds),
-			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(rounds),
-			BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(rounds),
-		},
+		Kernel:            kernel,
+		Rounds:            rounds,
+		Now:               now,
 		Baseline:          FixpointBaseline,
+		WithPasses:        withPasses,
+		PassesIterations:  warmOn.Iterations,
 		StatesPooledPerOp: warm.PoolStats.Reused(),
 		Iterations:        warm.Iterations,
 	}
 	if rep.Now.AllocsPerOp > 0 {
 		rep.AllocRatio = float64(rep.Baseline.AllocsPerOp) / float64(rep.Now.AllocsPerOp)
 	}
+	if rep.WithPasses.NsPerOp > 0 {
+		rep.PassesSpeedup = float64(rep.Now.NsPerOp) / float64(rep.WithPasses.NsPerOp)
+	}
+	demo, err := resolvedKernelDemo(opts, rounds)
+	if err != nil {
+		return nil, err
+	}
+	rep.ResolvedKernel = demo
 	return rep, nil
+}
+
+// resolvedKernelDemo measures the pipeline on jcmarker, the corpus kernel
+// with the most statically-decided branches (guard chains against constant
+// marker codes), where resolving them shrinks the speculative flow system.
+func resolvedKernelDemo(opts core.Options, rounds int) (*ResolvedKernelDemo, error) {
+	const kernel = "jcmarker"
+	b, ok := bench.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("fixpoint: kernel %q not in corpus", kernel)
+	}
+	plain, err := bench.Compile(b.Code, 0)
+	if err != nil {
+		return nil, err
+	}
+	transformed, err := bench.Compile(b.Code, 0)
+	if err != nil {
+		return nil, err
+	}
+	lanesBefore := transformed.CondBranchCount() * 2
+	res, err := passes.Run(transformed, passes.Default())
+	if err != nil {
+		return nil, err
+	}
+	demo := &ResolvedKernelDemo{
+		Kernel:           kernel,
+		ResolvedBranches: res.ResolvedBranches,
+		LanesBefore:      lanesBefore,
+		LanesAfter:       transformed.CondBranchCount() * 2,
+	}
+	if demo.Off, err = timeAnalyze(plain, opts, rounds); err != nil {
+		return nil, err
+	}
+	if demo.On, err = timeAnalyze(transformed, opts, rounds); err != nil {
+		return nil, err
+	}
+	if demo.On.NsPerOp > 0 {
+		demo.Speedup = float64(demo.Off.NsPerOp) / float64(demo.On.NsPerOp)
+	}
+	return demo, nil
+}
+
+// timeAnalyze runs the fixpoint rounds times over one program and returns the
+// per-op wall clock and allocation figures.
+func timeAnalyze(prog *ir.Program, opts core.Options, rounds int) (FixpointSample, error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := core.Analyze(prog, opts); err != nil {
+			return FixpointSample{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return FixpointSample{
+		NsPerOp:     elapsed.Nanoseconds() / int64(rounds),
+		AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(rounds),
+		BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(rounds),
+	}, nil
 }
 
 // WriteJSON writes the report to path (pretty-printed, trailing newline).

@@ -161,6 +161,14 @@ func (m *Machine) Step(s *State) error {
 		s.Block = in.TrueTarget
 		s.IP = 0
 	case ir.OpCondBr:
+		if in.Resolved {
+			// The emitted program has an unconditional jump here: the
+			// condition is not evaluated, the branch hook does not fire, and
+			// even wrong-path (speculative) execution follows the taken edge.
+			s.Block = in.TakenTarget()
+			s.IP = 0
+			break
+		}
 		taken := s.value(in.A) != 0
 		if m.Hooks.OnBranch != nil {
 			m.Hooks.OnBranch(in, taken)
@@ -175,7 +183,7 @@ func (m *Machine) Step(s *State) error {
 		s.Ret = s.value(in.A)
 		s.Done = true
 	default:
-		v, err := evalBinop(in.Op, s.value(in.A), s.value(in.B))
+		v, err := EvalBinop(in.Op, s.value(in.A), s.value(in.B))
 		if err != nil {
 			return err
 		}
@@ -200,7 +208,11 @@ func (m *Machine) resolveAccess(in *ir.Instr, elem int64) (ir.SymbolID, int64, e
 	return 0, 0, fmt.Errorf("%w: access %s[%d] (len %d)", ErrOutOfBounds, sym.Name, elem, sym.Len)
 }
 
-func evalBinop(op ir.Op, a, b int64) (int64, error) {
+// EvalBinop evaluates a two-operand op with the machine's exact semantics
+// (shift amounts masked to 6 bits, arithmetic right shift, faulting
+// division). The pass pipeline's constant folder uses it too, so compile-time
+// folding and runtime execution can never disagree.
+func EvalBinop(op ir.Op, a, b int64) (int64, error) {
 	switch op {
 	case ir.OpAdd:
 		return a + b, nil

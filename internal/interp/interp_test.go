@@ -187,7 +187,7 @@ func TestAllBinops(t *testing.T) {
 		{ir.OpCmpNe, 5, 5, 0},
 	}
 	for _, tc := range cases {
-		got, err := evalBinop(tc.op, tc.a, tc.b)
+		got, err := EvalBinop(tc.op, tc.a, tc.b)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.op, err)
 		}

@@ -132,8 +132,12 @@ func Analyze(g *cfg.Graph) *Result {
 		a.res.Iterations++
 
 		env := in[b].clone()
-		a.transferBlock(prog.Block(b), env)
-		for _, s := range g.Succs[b] {
+		block := prog.Block(b)
+		a.transferBlock(block, env)
+		// Effective successors: a Resolved CondBr is an unconditional jump in
+		// the emitted program, so no execution — architectural or wrong-path —
+		// reaches its dead edge, and no value can flow there.
+		for _, s := range block.EffectiveSuccs() {
 			if in[s] == nil {
 				in[s] = a.bottomEnv()
 			}

@@ -58,6 +58,13 @@ func (bd *Builder) MarkSecretReg(r Reg) {
 	bd.prog.SecretRegs = append(bd.prog.SecretRegs, r)
 }
 
+// MarkInputReg tags a register as legitimately read before any write (a
+// `reg` variable declared without an initializer). The def-before-use
+// verifier treats it as defined at entry.
+func (bd *Builder) MarkInputReg(r Reg) {
+	bd.prog.InputRegs = append(bd.prog.InputRegs, r)
+}
+
 // Terminated reports whether the current block already ends in a terminator.
 func (bd *Builder) Terminated() bool {
 	return bd.current != nil && bd.current.Terminator() != nil

@@ -152,6 +152,14 @@ type Instr struct {
 	// CondBr: A = condition, TrueTarget/FalseTarget name successors.
 	TrueTarget  BlockID
 	FalseTarget BlockID
+	// Resolved marks a CondBr whose outcome the pass pipeline proved at
+	// compile time: the emitted branch is unconditional (direction
+	// TakenTrue), so no speculative lane is spawned for it, the predictor
+	// never sees it, and only the taken edge carries abstract flow. The
+	// not-taken edge stays in the CFG so dominator/post-dominator geometry —
+	// and with it every vn_stop placement — is unchanged by resolution.
+	Resolved  bool
+	TakenTrue bool
 	// Pos carries the originating source position (line may be 0 for
 	// synthesized instructions).
 	Line int
@@ -183,7 +191,8 @@ func (b *Block) Terminator() *Instr {
 }
 
 // Succs returns the successor block IDs in order (true target first for
-// conditional branches).
+// conditional branches). Resolved CondBrs still report both targets: the
+// static CFG shape is resolution-independent by design.
 func (b *Block) Succs() []BlockID {
 	t := b.Terminator()
 	if t == nil {
@@ -196,6 +205,29 @@ func (b *Block) Succs() []BlockID {
 		return []BlockID{t.TrueTarget, t.FalseTarget}
 	}
 	return nil
+}
+
+// TakenTarget returns the successor a Resolved CondBr always jumps to. It
+// must only be called on resolved conditional branches.
+func (in *Instr) TakenTarget() BlockID {
+	if in.TakenTrue {
+		return in.TrueTarget
+	}
+	return in.FalseTarget
+}
+
+// EffectiveSuccs returns the successors execution can actually follow: for a
+// block ending in a Resolved CondBr, only the taken edge; otherwise Succs.
+// Abstract flows, the interval analysis, and the concrete simulator all
+// propagate along effective successors, while dominator and post-dominator
+// computations keep using the full edge set (so vn_stop placements do not
+// move when a branch resolves).
+func (b *Block) EffectiveSuccs() []BlockID {
+	t := b.Terminator()
+	if t != nil && t.Op == OpCondBr && t.Resolved {
+		return []BlockID{t.TakenTarget()}
+	}
+	return b.Succs()
 }
 
 // Program is a lowered whole program: a single entry function (everything is
@@ -212,6 +244,13 @@ type Program struct {
 	// never touch memory (`secret reg` declarations). Memory-resident
 	// secrets carry the tag on their Symbol instead.
 	SecretRegs []Reg
+	// InputRegs lists virtual registers that are legitimately read before
+	// any instruction writes them: registers bound to `reg` variables
+	// declared without an initializer (they model inputs, reading the
+	// machine's zero-initialized register file). SecretRegs are inputs too;
+	// lowering records them in both lists. The def-before-use verifier
+	// treats exactly these registers as defined at entry.
+	InputRegs []Reg
 	symByName map[string]*Symbol
 }
 
@@ -249,11 +288,26 @@ func (p *Program) Finalize() {
 // InstrCount returns the number of instructions in the program.
 func (p *Program) InstrCount() int { return p.NumInstrs }
 
-// CondBranchCount returns the number of conditional branches.
+// CondBranchCount returns the number of conditional branches that can
+// actually mispredict: CondBrs not marked Resolved by the pass pipeline.
+// Resolved branches are unconditional jumps in the emitted program, so they
+// spawn no speculative colors and do not count toward the paper's #Branch.
 func (p *Program) CondBranchCount() int {
 	n := 0
 	for _, b := range p.Blocks {
-		if t := b.Terminator(); t != nil && t.Op == OpCondBr {
+		if t := b.Terminator(); t != nil && t.Op == OpCondBr && !t.Resolved {
+			n++
+		}
+	}
+	return n
+}
+
+// ResolvedBranchCount returns the number of CondBrs the pass pipeline
+// statically decided.
+func (p *Program) ResolvedBranchCount() int {
+	n := 0
+	for _, b := range p.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == OpCondBr && t.Resolved {
 			n++
 		}
 	}
@@ -321,6 +375,14 @@ func (p *Program) FormatInstr(in *Instr) string {
 	case OpBr:
 		return fmt.Sprintf("br %s", blockLabel(in.TrueTarget))
 	case OpCondBr:
+		if in.Resolved {
+			dir := "F"
+			if in.TakenTrue {
+				dir = "T"
+			}
+			return fmt.Sprintf("condbr %s ? %s : %s  ; resolved=%s", in.A,
+				blockLabel(in.TrueTarget), blockLabel(in.FalseTarget), dir)
+		}
 		return fmt.Sprintf("condbr %s ? %s : %s", in.A,
 			blockLabel(in.TrueTarget), blockLabel(in.FalseTarget))
 	case OpRet:

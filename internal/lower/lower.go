@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"specabsint/internal/ir"
+	"specabsint/internal/irverify"
 	"specabsint/internal/source"
 )
 
@@ -33,6 +34,10 @@ type Options struct {
 	// InlineDepth caps the call-inlining depth as a safety net (the checker
 	// already rejects recursion).
 	InlineDepth int
+	// SkipVerify disables the post-lowering structural verification. The
+	// zero value verifies: every Lower output passes irverify before any
+	// analysis consumes it.
+	SkipVerify bool
 }
 
 // DefaultOptions returns the standard lowering configuration.
@@ -53,7 +58,16 @@ func Lower(prog *source.Program, opts Options) (*ir.Program, error) {
 		bd:   ir.NewBuilder("main"),
 		opts: opts,
 	}
-	return lw.run()
+	p, err := lw.run()
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipVerify {
+		if verr := irverify.Verify(p); verr != nil {
+			return nil, fmt.Errorf("lowering produced structurally invalid IR: %w", verr)
+		}
+	}
+	return p, nil
 }
 
 type bindKind int
@@ -101,11 +115,17 @@ func (lw *lowerer) run() (*ir.Program, error) {
 	entry := lw.bd.NewBlock("entry")
 	lw.bd.SetBlock(entry)
 
-	// main's parameters (if any) become uninitialized memory variables.
+	// main's parameters (if any) become uninitialized memory variables;
+	// reg-qualified parameters are read straight from the register file and
+	// count as input registers for the def-before-use verifier.
 	lw.pushScope()
 	for _, p := range mainFn.Params {
-		if _, err := lw.declareLocal(p); err != nil {
+		b, err := lw.declareLocal(p)
+		if err != nil {
 			return nil, err
+		}
+		if b.kind == bindReg {
+			lw.bd.MarkInputReg(b.reg)
 		}
 	}
 	lw.retBlock = lw.bd.NewBlock("main.ret")
@@ -269,6 +289,12 @@ func (lw *lowerer) lowerDecl(d *source.VarDecl) error {
 	b, err := lw.declareLocal(d)
 	if err != nil {
 		return err
+	}
+	if b.kind == bindReg && d.Init == nil {
+		// An uninitialized `reg` variable (e.g. Fig. 2's `secret reg int k`)
+		// is legitimately read before any write: it models an input held in
+		// the zero-initialized register file.
+		lw.bd.MarkInputReg(b.reg)
 	}
 	if d.Type.IsArray {
 		for i, e := range d.InitArr {

@@ -229,7 +229,17 @@ func (s *Simulator) Run() error {
 		// Fetch before resolving/speculating: the wrong path starts with
 		// the branch already in the instruction cache.
 		s.fetch(in, false)
-		if in.Op == ir.OpCondBr {
+		if in.Op == ir.OpCondBr && in.Resolved {
+			// The pass pipeline emitted this as an unconditional jump: no
+			// prediction, no misprediction, no speculation. The tripwire
+			// below is the simulator's check on the pipeline's proof — a
+			// resolved branch whose architectural outcome disagrees with the
+			// recorded direction means folding was unsound.
+			if condTaken(st, in) != in.TakenTrue {
+				return fmt.Errorf("machine: resolved branch at instr %d (line %d) would go %v architecturally, but passes fixed it %v",
+					in.ID, in.Line, condTaken(st, in), in.TakenTrue)
+			}
+		} else if in.Op == ir.OpCondBr {
 			s.Stats.Branches++
 			taken := condTaken(st, in)
 			predicted := s.Cfg.Predictor.Predict(in.ID)

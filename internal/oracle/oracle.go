@@ -43,9 +43,11 @@ import (
 	"specabsint/internal/cache"
 	"specabsint/internal/core"
 	"specabsint/internal/ir"
+	"specabsint/internal/irverify"
 	"specabsint/internal/layout"
 	"specabsint/internal/lower"
 	"specabsint/internal/machine"
+	"specabsint/internal/passes"
 	"specabsint/internal/runner"
 	"specabsint/internal/source"
 	"specabsint/internal/taint"
@@ -137,6 +139,12 @@ type Config struct {
 	Seed int64
 	// MaxViolations caps collection per program (0 = 20).
 	MaxViolations int
+	// DisablePasses skips the analysis-preserving pass pipeline
+	// (internal/passes) after lowering. The zero value runs it, matching the
+	// production compile path: the oracle then certifies soundness of
+	// analysis over exactly the programs users analyze. Disabling it checks
+	// the raw lowered IR instead.
+	DisablePasses bool
 	// Pool runs the abstract analyses; nil creates a private pool.
 	Pool *runner.Pool
 }
@@ -226,6 +234,18 @@ func CheckContext(ctx context.Context, src string, cfg Config) (*Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("oracle: lower: %w", err)
 	}
+	if !cfg.DisablePasses {
+		// passes.Run structurally re-verifies its output, so a pipeline bug
+		// surfaces here as a positioned diagnostic rather than as a bogus
+		// soundness violation downstream.
+		if _, err := passes.Run(prog, passes.Default()); err != nil {
+			return nil, fmt.Errorf("oracle: %w", err)
+		}
+	} else if err := irverify.Verify(prog); err != nil {
+		// Lowering verifies its own output; re-check here so the oracle
+		// rejects structurally broken IR however it was produced.
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
 	pool := cfg.Pool
 	if pool == nil {
 		pool = runner.New(0)
@@ -264,7 +284,8 @@ func CheckContext(ctx context.Context, src string, cfg Config) (*Result, error) 
 		for _, u := range []int{cfg.SmallUnroll, lower.DefaultOptions().MaxUnroll} {
 			opts := c.baseOpts()
 			opts.DepthMiss, opts.DepthHit = 0, 0
-			jobs = append(jobs, runner.Job{Name: fmt.Sprintf("unroll-%d", u), Source: src, MaxUnroll: u, Opts: opts, Mode: runner.ModeSideChannel})
+			jobs = append(jobs, runner.Job{Name: fmt.Sprintf("unroll-%d", u), Source: src, MaxUnroll: u,
+				Passes: !cfg.DisablePasses, Opts: opts, Mode: runner.ModeSideChannel})
 		}
 	}
 

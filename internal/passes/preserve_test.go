@@ -1,0 +1,140 @@
+package passes_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"specabsint/internal/cache"
+	"specabsint/internal/core"
+	"specabsint/internal/gen"
+	"specabsint/internal/ir"
+	"specabsint/internal/lower"
+	"specabsint/internal/passes"
+	"specabsint/internal/source"
+)
+
+// TestPreservationCorpus is the pass pipeline's preservation proof over a
+// seeded corpus: for every generated program, the analysis of the
+// transformed program must classify every architecturally live access either
+// byte-identically to the untransformed analysis or strictly more precisely
+// (Unknown -> AlwaysHit/AlwaysMiss). Accesses the transformed analysis drops
+// must sit in blocks only reachable through a resolved branch's dead edge —
+// code no execution of the emitted program can reach. Wrong-path coverage
+// (SpecAccess) may shrink, because resolved branches spawn no lanes, but a
+// lane verdict present on both sides must satisfy the same equal-or-tighter
+// relation on always-hit/always-miss agreements being allowed to differ only
+// toward precision.
+func TestPreservationCorpus(t *testing.T) {
+	const programs = 60
+	rng := rand.New(rand.NewSource(7))
+	cfgs := []gen.Config{gen.Default(), gen.Secrets(), gen.Sized(3)}
+	checked := 0
+	for i := 0; i < programs; i++ {
+		src := gen.Program(rng, cfgs[i%len(cfgs)])
+		if comparePassPreservation(t, src) {
+			checked++
+		}
+	}
+	if checked < programs/2 {
+		t.Fatalf("only %d/%d generated programs were comparable", checked, programs)
+	}
+}
+
+// comparePassPreservation analyzes one source with and without the pipeline
+// and asserts the preservation relation. It reports false for programs that
+// do not compile or analyze (the generator can exceed unroll limits).
+func comparePassPreservation(t *testing.T, src string) bool {
+	t.Helper()
+	compile := func(withPasses bool) *ir.Program {
+		ast, err := source.Parse(src)
+		if err != nil {
+			return nil
+		}
+		prog, err := lower.Lower(ast, lower.DefaultOptions())
+		if err != nil {
+			return nil
+		}
+		if withPasses {
+			if _, err := passes.Run(prog, passes.Default()); err != nil {
+				t.Fatalf("passes.Run: %v\nsource:\n%s", err, src)
+			}
+		}
+		return prog
+	}
+	plain := compile(false)
+	transformed := compile(true)
+	if plain == nil || transformed == nil {
+		return false
+	}
+	opts := core.DefaultOptions()
+	opts.Cache.NumSets, opts.Cache.Assoc = 2, 2
+	off, err := core.AnalyzeContext(context.Background(), plain, opts)
+	if err != nil {
+		return false
+	}
+	on, err := core.AnalyzeContext(context.Background(), transformed, opts)
+	if err != nil {
+		t.Fatalf("analysis of transformed program failed: %v\nsource:\n%s", err, src)
+	}
+
+	deadBlocks := effectivelyDead(transformed)
+	for id, offInfo := range off.Access {
+		onInfo, ok := on.Access[id]
+		if !ok {
+			if !deadBlocks[offInfo.Block] {
+				t.Errorf("instr %d (line %d) classified without passes but dropped with them, and its block %d is effectively reachable\nsource:\n%s",
+					id, offInfo.Instr.Line, offInfo.Block, src)
+			}
+			continue
+		}
+		if !equalOrMorePrecise(offInfo.Class, onInfo.Class) {
+			t.Errorf("instr %d (line %d): class weakened %v -> %v with passes\nsource:\n%s",
+				id, offInfo.Instr.Line, offInfo.Class, onInfo.Class, src)
+		}
+	}
+	for id := range on.Access {
+		if _, ok := off.Access[id]; !ok {
+			t.Errorf("instr %d classified only with passes on — transformed analysis covered more architectural code than the original\nsource:\n%s", id, src)
+		}
+	}
+	// Lane verdicts: coverage may shrink (resolved branches spawn no
+	// speculative lanes) but surviving verdicts must not weaken.
+	for id, onCls := range on.SpecAccess {
+		if offCls, ok := off.SpecAccess[id]; ok && !equalOrMorePrecise(offCls, onCls) {
+			t.Errorf("instr %d: wrong-path class weakened %v -> %v with passes\nsource:\n%s", id, offCls, onCls, src)
+		}
+	}
+	return true
+}
+
+// equalOrMorePrecise is the preservation order: identical, or a definite
+// verdict replacing Unknown.
+func equalOrMorePrecise(off, on cache.Classification) bool {
+	return on == off || off == cache.Unknown
+}
+
+// effectivelyDead marks blocks unreachable along effective successor edges:
+// the only code the pass pipeline may drop from the architectural report.
+func effectivelyDead(prog *ir.Program) map[ir.BlockID]bool {
+	reach := make(map[ir.BlockID]bool, len(prog.Blocks))
+	stack := []ir.BlockID{prog.Entry}
+	reach[prog.Entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range prog.Blocks[b].EffectiveSuccs() {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	dead := map[ir.BlockID]bool{}
+	for _, b := range prog.Blocks {
+		if !reach[b.ID] {
+			dead[b.ID] = true
+		}
+	}
+	return dead
+}

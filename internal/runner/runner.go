@@ -32,6 +32,7 @@ import (
 	"specabsint/internal/core"
 	"specabsint/internal/ir"
 	"specabsint/internal/lower"
+	"specabsint/internal/passes"
 	"specabsint/internal/sidechannel"
 	"specabsint/internal/source"
 )
@@ -63,6 +64,12 @@ type Job struct {
 	// MaxUnroll caps constant-trip loop unrolling at lowering time; it is
 	// part of the cache key. 0 uses the lowering default.
 	MaxUnroll int
+	// Passes runs the analysis-preserving pass pipeline (internal/passes)
+	// after lowering; it is part of the cache key. DCE is automatically
+	// gated off for ModeICache jobs (nop insertion is analysis-preserving
+	// only while the instruction stream's cache footprint is unmodeled), so
+	// a source analyzed under both modes compiles twice.
+	Passes bool
 	// Prog, when non-nil, is analyzed directly (no compile, no cache).
 	Prog *ir.Program
 	// Opts configures the analysis.
@@ -113,6 +120,8 @@ func (e *PanicError) Error() string {
 type progKey struct {
 	hash      [sha256.Size]byte
 	maxUnroll int
+	passes    bool
+	icache    bool // gates DCE when passes run; irrelevant otherwise
 }
 
 // progEntry is a cache slot; once guarantees a single compilation even when
@@ -244,7 +253,7 @@ func (p *Pool) runJob(ctx context.Context, idx int, j Job) (res Result) {
 	prog := j.Prog
 	if prog == nil {
 		var err error
-		prog, err = p.compile(j.Source, j.MaxUnroll)
+		prog, err = p.compile(j.Source, j.MaxUnroll, j.Passes, j.Mode == ModeICache)
 		if err != nil {
 			res.Err = err
 			return res
@@ -280,8 +289,8 @@ func (p *Pool) runJob(ctx context.Context, idx int, j Job) (res Result) {
 
 // compile parses and lowers source through the cache. Concurrent requests
 // for the same (source, options) compile once and share the result.
-func (p *Pool) compile(src string, maxUnroll int) (*ir.Program, error) {
-	key := progKey{hash: sha256.Sum256([]byte(src)), maxUnroll: maxUnroll}
+func (p *Pool) compile(src string, maxUnroll int, runPasses, icache bool) (*ir.Program, error) {
+	key := progKey{hash: sha256.Sum256([]byte(src)), maxUnroll: maxUnroll, passes: runPasses, icache: runPasses && icache}
 	p.mu.Lock()
 	e, ok := p.progs[key]
 	if ok {
@@ -308,6 +317,13 @@ func (p *Pool) compile(src string, maxUnroll int) (*ir.Program, error) {
 			opts.MaxUnroll = maxUnroll
 		}
 		e.prog, e.err = lower.Lower(ast, opts)
+		if e.err == nil && runPasses {
+			popts := passes.Default()
+			popts.ICacheModeled = icache
+			if _, perr := passes.Run(e.prog, popts); perr != nil {
+				e.prog, e.err = nil, perr
+			}
+		}
 	})
 	return e.prog, e.err
 }

@@ -67,6 +67,15 @@ func WithSetParallelism(n int) Option {
 	return func(c *Config) { c.SetParallelism = n }
 }
 
+// WithPasses toggles the analysis-preserving pass pipeline (SCCP, copy
+// propagation, branch resolution, DCE) that runs after lowering. On by
+// default; it only affects CompileOpts and the compilations AnalyzeBatch
+// performs. Disabling it analyzes the raw lowered IR — useful for debugging
+// and for A/B precision comparisons.
+func WithPasses(on bool) Option {
+	return func(c *Config) { c.Passes = on }
+}
+
 // WithMaxUnroll caps full unrolling of constant-trip loops at lowering
 // time. It only affects CompileOpts (and the compilations AnalyzeBatch
 // performs); analysis entry points ignore it.

@@ -33,6 +33,7 @@ import (
 	"specabsint/internal/layout"
 	"specabsint/internal/lower"
 	"specabsint/internal/machine"
+	"specabsint/internal/passes"
 	"specabsint/internal/sidechannel"
 	"specabsint/internal/source"
 	"specabsint/internal/wcet"
@@ -101,6 +102,12 @@ type Config struct {
 	RefinedJoin bool
 	// MaxUnroll caps full unrolling of constant-trip loops.
 	MaxUnroll int
+	// Passes runs the analysis-preserving pass pipeline (SCCP, copy
+	// propagation, branch resolution, DCE — see internal/passes) after
+	// lowering. On by default: classifications are byte-identical or
+	// strictly more precise, never weaker. WithPasses(false) is the escape
+	// hatch for debugging or A/B comparison against the untransformed IR.
+	Passes bool
 	// SetParallelism >= 1 partitions the analysis by independent cache-set
 	// groups and fans the per-group fixpoints across up to that many
 	// goroutines (1 = partitioned but serial). 0, the default, runs the
@@ -120,6 +127,7 @@ func DefaultConfig() Config {
 		Strategy:             o.Strategy,
 		RefinedJoin:          o.RefinedJoin,
 		MaxUnroll:            lower.DefaultOptions().MaxUnroll,
+		Passes:               true,
 	}
 }
 
@@ -209,6 +217,11 @@ func compileConfig(src string, cfg Config) (*CompiledProgram, error) {
 	prog, err := lower.Lower(ast, lopts)
 	if err != nil {
 		return nil, wrapErr(err)
+	}
+	if cfg.Passes {
+		if _, err := passes.Run(prog, passes.Default()); err != nil {
+			return nil, wrapErr(err)
+		}
 	}
 	return &CompiledProgram{prog: prog}, nil
 }

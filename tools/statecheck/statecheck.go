@@ -1,0 +1,298 @@
+// Package statecheck is a vet-style analyzer for the cache.State pooling
+// discipline (internal/cache.Pool, DESIGN.md "Scratch-state pooling"):
+//
+//  1. a state handed back with Put must not be used afterwards — the pool
+//     will recycle the buffers under the caller;
+//  2. a state must not be Put twice — the free list would hand the same
+//     buffers to two owners;
+//  3. a state obtained from Get carries arbitrary stale contents and must be
+//     initialized with CopyFrom or SetBottom before anything reads it.
+//
+// The checker is syntactic (the driver does not type-check): a "pool" is any
+// receiver whose terminal identifier contains "pool", and the rules are
+// enforced where they are decidable without control-flow analysis — rules 1
+// and 2 within one statement list (straight-line code between a Put and a
+// later mention), rule 3 on the first mention anywhere after the Get, with
+// deferred Puts treated as end-of-function releases. That is conservative
+// enough to stay silent on correct code and still catches the realistic
+// regressions: hoisting a use below the Put during a refactor, pasting a
+// second Put, or dropping the CopyFrom that separates scratch reuse from
+// reading another iteration's garbage.
+package statecheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"specabsint/tools/analysis"
+)
+
+// Analyzer is the cache.State pooling-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "statecheck",
+	Doc: "check cache.State pooling discipline: no use after Put, no double Put,\n" +
+		"and CopyFrom/SetBottom before a pooled state's first use",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The pool implementation and its own tests legitimately touch free-list
+	// internals; the discipline binds the pool's clients.
+	if pass.Pkg == "cache" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, deferred: map[string]token.Pos{}}
+			c.checkFreshStates(fn.Body)
+			c.checkList(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// deferred maps variables with a pending `defer pool.Put(x)` to the
+	// defer's position (function-scoped: the release happens at return).
+	deferred map[string]token.Pos
+}
+
+// poolReceiver reports whether the call's receiver chain names a pool
+// (e.pool.Get(), pool.Put(x), p.statePool.Get(), ...).
+func poolReceiver(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch recv := sel.X.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(recv.Name), "pool")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(recv.Sel.Name), "pool")
+	}
+	return false
+}
+
+// asPoolGet matches `<pool>.Get()`.
+func asPoolGet(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Get" && len(call.Args) == 0 && poolReceiver(call)
+}
+
+// asPoolPut matches `<pool>.Put(x)` and returns the argument variable name
+// ("" when the argument is not a plain identifier).
+func asPoolPut(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 || !poolReceiver(call) {
+		return "", false
+	}
+	if id, ok := call.Args[0].(*ast.Ident); ok {
+		return id.Name, true
+	}
+	return "", true
+}
+
+// initCallOn matches `x.CopyFrom(...)` / `x.SetBottom()` statements, the two
+// ways a pooled state's stale contents become defined.
+func initCallOn(st ast.Stmt) (string, bool) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "CopyFrom" && sel.Sel.Name != "SetBottom") {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// mentions reports whether the node references the identifier.
+func mentions(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// assignsTo reports whether the statement (re)binds the name, which ends any
+// tracking of the previous value.
+func assignsTo(st ast.Stmt, name string) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFreshStates enforces rule 3: for every `x := <pool>.Get()`, the first
+// mention of x afterwards (in source order, nested statements included) must
+// be x.CopyFrom or x.SetBottom. A `defer pool.Put(x)` between the Get and
+// the initialization is fine — it runs at return, after the state's life.
+func (c *checker) checkFreshStates(body *ast.BlockStmt) {
+	var stmts []ast.Stmt
+	flatten(body, &stmts)
+	for i, st := range stmts {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || !asPoolGet(as.Rhs[0]) {
+			continue
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		for _, later := range stmts[i+1:] {
+			if initName, ok := initCallOn(later); ok && initName == id.Name {
+				break // initialized first: fine
+			}
+			if ds, ok := later.(*ast.DeferStmt); ok {
+				if arg, ok := asPoolPut(ds.Call); ok && arg == id.Name {
+					continue // release at return, not a read
+				}
+			}
+			if assignsTo(later, id.Name) {
+				break // rebound before any read
+			}
+			if mentionsStmt(later, id.Name) {
+				c.pass.Report(analysis.Diagnostic{
+					Pos: later.Pos(),
+					Message: fmt.Sprintf("%s: pooled state %q used before CopyFrom or SetBottom (Pool.Get returns stale contents)",
+						c.pass.Analyzer.Name, id.Name),
+				})
+				break
+			}
+		}
+	}
+}
+
+// flatten appends every statement of the block in source order, recursing
+// into nested bodies, so "first mention after" scans cross block boundaries.
+func flatten(n ast.Node, out *[]ast.Stmt) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if st, ok := x.(ast.Stmt); ok {
+			if _, isBlock := st.(*ast.BlockStmt); !isBlock {
+				*out = append(*out, st)
+			}
+		}
+		return true
+	})
+}
+
+// mentionsStmt reports whether the statement itself reads the name. Compound
+// statements (for, if, switch, range) only contribute their header
+// expressions — their nested statements appear later in the flattened order
+// and are judged on their own.
+func mentionsStmt(st ast.Stmt, name string) bool {
+	var headers []ast.Node
+	switch s := st.(type) {
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			headers = append(headers, s.Cond)
+		}
+	case *ast.RangeStmt:
+		headers = append(headers, s.X)
+	case *ast.IfStmt:
+		headers = append(headers, s.Cond)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			headers = append(headers, s.Tag)
+		}
+	case *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt, *ast.CaseClause, *ast.CommClause:
+		// headers carry no expressions of interest; children are scanned
+		// as their own flattened statements
+	default:
+		return mentions(st, name)
+	}
+	for _, h := range headers {
+		if mentions(h, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkList enforces rules 1 and 2 over one statement list: after a direct
+// `<pool>.Put(x)` statement, a later statement in the same list must neither
+// mention x (use after free) nor Put it again (double free). Nested blocks
+// are checked recursively with their own horizon, so releases on one branch
+// never taint the other.
+func (c *checker) checkList(list []ast.Stmt) {
+	released := map[string]token.Pos{}
+	for _, st := range list {
+		switch s := st.(type) {
+		case *ast.DeferStmt:
+			if arg, ok := asPoolPut(s.Call); ok && arg != "" {
+				if _, dup := c.deferred[arg]; dup {
+					c.report(s.Pos(), "second deferred Put of pooled state %q (double release at return)", arg)
+				}
+				c.deferred[arg] = s.Pos()
+				continue
+			}
+		case *ast.ExprStmt:
+			if arg, ok := asPoolPut(s.X); ok && arg != "" {
+				if _, wasReleased := released[arg]; wasReleased {
+					c.report(s.Pos(), "pooled state %q already returned with Put (double release)", arg)
+				} else if _, def := c.deferred[arg]; def {
+					c.report(s.Pos(), "pooled state %q has a pending deferred Put; this Put releases it twice", arg)
+				}
+				released[arg] = s.Pos()
+				continue
+			}
+		}
+		for name := range released {
+			if assignsTo(st, name) {
+				delete(released, name)
+				continue
+			}
+			if mentions(st, name) {
+				c.report(st.Pos(), "pooled state %q used after Put returned it to the pool", name)
+				delete(released, name) // one report per release site
+			}
+		}
+		// Recurse into nested statement lists with a fresh horizon.
+		ast.Inspect(st, func(x ast.Node) bool {
+			if b, ok := x.(*ast.BlockStmt); ok {
+				c.checkList(b.List)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.pass.Report(analysis.Diagnostic{
+		Pos:     pos,
+		Message: c.pass.Analyzer.Name + ": " + fmt.Sprintf(format, args...),
+	})
+}

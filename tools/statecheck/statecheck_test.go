@@ -1,0 +1,189 @@
+package statecheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"specabsint/tools/analysis"
+)
+
+// runOn applies the analyzer to one source string and returns the rendered
+// diagnostics.
+func runOn(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var out []string
+	pass := &analysis.Pass{
+		Analyzer: Analyzer,
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Pkg:      f.Name.Name,
+		Report: func(d analysis.Diagnostic) {
+			out = append(out, fset.Position(d.Pos).String()+": "+d.Message)
+		},
+	}
+	if err := Analyzer.Run(pass); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func wantDiag(t *testing.T, diags []string, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d, substr) {
+			return
+		}
+	}
+	t.Fatalf("no diagnostic containing %q; got %v", substr, diags)
+}
+
+func wantClean(t *testing.T, diags []string) {
+	t.Helper()
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics, got %v", diags)
+	}
+}
+
+const header = `package p
+type State struct{}
+func (s *State) CopyFrom(o *State) {}
+func (s *State) SetBottom()        {}
+func (s *State) Age()              {}
+type Pool struct{}
+func (p *Pool) Get() *State  { return nil }
+func (p *Pool) Put(s *State) {}
+var pool Pool
+func sink(s *State) {}
+`
+
+func TestUseAfterPut(t *testing.T) {
+	diags := runOn(t, header+`
+func f(src *State) {
+	st := pool.Get()
+	st.CopyFrom(src)
+	pool.Put(st)
+	st.Age()
+}`)
+	wantDiag(t, diags, `"st" used after Put`)
+}
+
+func TestDoublePut(t *testing.T) {
+	diags := runOn(t, header+`
+func f(src *State) {
+	st := pool.Get()
+	st.CopyFrom(src)
+	pool.Put(st)
+	pool.Put(st)
+}`)
+	wantDiag(t, diags, "double release")
+}
+
+func TestPutAfterDeferredPut(t *testing.T) {
+	diags := runOn(t, header+`
+func f(src *State) {
+	st := pool.Get()
+	st.CopyFrom(src)
+	defer pool.Put(st)
+	pool.Put(st)
+}`)
+	wantDiag(t, diags, "pending deferred Put")
+}
+
+func TestMissingCopyFrom(t *testing.T) {
+	diags := runOn(t, header+`
+func f() {
+	st := pool.Get()
+	st.Age()
+	pool.Put(st)
+}`)
+	wantDiag(t, diags, "before CopyFrom or SetBottom")
+}
+
+func TestReadAsArgumentBeforeInit(t *testing.T) {
+	diags := runOn(t, header+`
+func f(dst *State) {
+	st := pool.Get()
+	dst.CopyFrom(st)
+	pool.Put(st)
+}`)
+	wantDiag(t, diags, "before CopyFrom or SetBottom")
+}
+
+func TestCleanEnginePattern(t *testing.T) {
+	// The shapes internal/core actually uses: init-then-use-then-Put,
+	// deferred Put with later uses, SetBottom init, and first use nested in
+	// a loop below the defer.
+	diags := runOn(t, header+`
+func transfer(src *State) *State {
+	out := pool.Get()
+	out.CopyFrom(src)
+	out.Age()
+	return out
+}
+func walk(src *State) {
+	st := pool.Get()
+	st.CopyFrom(src)
+	rollback := pool.Get()
+	rollback.SetBottom()
+	st.Age()
+	rollback.Age()
+	pool.Put(st)
+	pool.Put(rollback)
+}
+func classify(flows []*State) {
+	st := pool.Get()
+	defer pool.Put(st)
+	for _, f := range flows {
+		st.CopyFrom(f)
+		st.Age()
+	}
+}`)
+	wantClean(t, diags)
+}
+
+func TestRebindClearsTracking(t *testing.T) {
+	diags := runOn(t, header+`
+func f(src *State) {
+	st := pool.Get()
+	st.CopyFrom(src)
+	pool.Put(st)
+	st = pool.Get()
+	st.CopyFrom(src)
+	pool.Put(st)
+}`)
+	wantClean(t, diags)
+}
+
+func TestBranchPutDoesNotTaintSiblings(t *testing.T) {
+	diags := runOn(t, header+`
+func f(src *State, cond bool) {
+	st := pool.Get()
+	st.CopyFrom(src)
+	if cond {
+		pool.Put(st)
+	} else {
+		st.Age()
+		pool.Put(st)
+	}
+}`)
+	wantClean(t, diags)
+}
+
+func TestCachePackageExempt(t *testing.T) {
+	diags := runOn(t, strings.Replace(header, "package p", "package cache", 1)+`
+func f() {
+	st := pool.Get()
+	st.Age()
+	pool.Put(st)
+	st.Age()
+}`)
+	wantClean(t, diags)
+}
