@@ -5,10 +5,12 @@
 // Usage:
 //
 //	specanalyze [flags] program.c
+//	specanalyze [flags] -corpus name
 //
-// Example:
+// Examples:
 //
 //	specanalyze -lines 512 -linesize 64 -bm 200 -bh 20 examples/fig2.c
+//	specanalyze -corpus fig2 -stats=json -stats-notimes
 package main
 
 import (
@@ -20,8 +22,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"specabsint"
+	"specabsint/internal/bench"
+	"specabsint/internal/obs"
 )
 
 func main() {
@@ -39,12 +44,35 @@ func main() {
 		sim        = flag.Bool("sim", false, "also run the concrete speculative simulator")
 		verbose    = flag.Bool("v", false, "print every access verdict")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
+		statsMode  = flag.String("stats", "", "print only the analysis stats document: json or text")
+		statsNoT   = flag.Bool("stats-notimes", false, "zero wall-clock phase timings in -stats output (deterministic, diffable)")
+		statsCheck = flag.Bool("stats-validate", false, "validate -stats=json output against the built-in schema before printing")
+		corpus     = flag.String("corpus", "", "analyze a built-in program instead of a file: fig2 or a benchmark name")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: specanalyze [flags] program.c")
+	if *statsMode != "" && *statsMode != "json" && *statsMode != "text" {
+		fatal(fmt.Errorf("-stats must be json or text, got %q", *statsMode))
+	}
+	var src, srcName string
+	switch {
+	case *corpus != "" && flag.NArg() == 0:
+		srcName = *corpus
+		text, err := corpusSource(*corpus)
+		if err != nil {
+			fatal(err)
+		}
+		src = text
+	case *corpus == "" && flag.NArg() == 1:
+		srcName = flag.Arg(0)
+		data, err := os.ReadFile(srcName)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: specanalyze [flags] program.c | specanalyze [flags] -corpus name")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -52,10 +80,6 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
 
 	var strat specabsint.Strategy
 	switch *strategy {
@@ -84,6 +108,7 @@ func main() {
 		specabsint.WithStrategy(strat),
 		specabsint.WithSetParallelism(*parallel),
 		specabsint.WithPasses(runPasses),
+		specabsint.WithStats(*statsMode != ""),
 	}
 
 	ctx := context.Background()
@@ -93,13 +118,13 @@ func main() {
 		defer cancel()
 	}
 
-	prog, err := specabsint.CompileOpts(string(src), opts...)
+	prog, err := specabsint.CompileOpts(src, opts...)
 	if err != nil {
 		// Surface the exact source position for front-end diagnostics.
 		var perr *specabsint.ParseError
 		if errors.As(err, &perr) {
 			fmt.Fprintf(os.Stderr, "specanalyze: %s:%d:%d: %s\n",
-				flag.Arg(0), perr.Line(), perr.Col(), perr.Msg)
+				srcName, perr.Line(), perr.Col(), perr.Msg)
 			os.Exit(1)
 		}
 		fatal(err)
@@ -116,6 +141,12 @@ func main() {
 	cfg := specabsint.DefaultConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if *statsMode != "" {
+		if err := printStats(rep.Stats, *statsMode, *statsNoT, *statsCheck); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *asJSON {
 		out, err := json.MarshalIndent(rep, "", "  ")
@@ -173,6 +204,52 @@ func main() {
 		}
 		fmt.Printf("\nconcrete simulation (all branches mispredicted): %v\n", stats)
 	}
+}
+
+// corpusSource resolves -corpus to MiniC source: the paper's Fig. 2 example
+// or any internal/bench benchmark (side-channel kernels are wrapped in the
+// Fig. 10 client with a 4 KiB attacker buffer so they have a main).
+func corpusSource(name string) (string, error) {
+	if name == "fig2" {
+		return bench.Fig2Program(-1), nil
+	}
+	b, ok := bench.ByName(name)
+	if !ok {
+		names := []string{"fig2"}
+		for _, bb := range bench.All() {
+			names = append(names, bb.Name)
+		}
+		return "", fmt.Errorf("unknown corpus program %q (have: %s)", name, strings.Join(names, ", "))
+	}
+	if b.Kind == bench.SideChannel {
+		return bench.WithClient(b, 4096), nil
+	}
+	return b.Code, nil
+}
+
+// printStats renders the stats document, the only output in -stats mode.
+func printStats(st *specabsint.Stats, mode string, noTimes, validate bool) error {
+	if st == nil {
+		return fmt.Errorf("stats requested but not collected")
+	}
+	if noTimes {
+		st.ZeroTimes()
+	}
+	if mode == "text" {
+		st.WriteText(os.Stdout)
+		return nil
+	}
+	out, err := st.JSON()
+	if err != nil {
+		return err
+	}
+	if validate {
+		if err := obs.ValidateStats(out); err != nil {
+			return fmt.Errorf("stats failed schema validation: %w", err)
+		}
+	}
+	_, err = os.Stdout.Write(out)
+	return err
 }
 
 func fatal(err error) {

@@ -23,12 +23,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 
 	"specabsint/internal/cache"
 	"specabsint/internal/cfg"
 	"specabsint/internal/interval"
 	"specabsint/internal/ir"
 	"specabsint/internal/layout"
+	"specabsint/internal/obs"
 )
 
 // Strategy selects how speculative states merge with normal states (Fig. 6).
@@ -93,6 +95,11 @@ type Options struct {
 	// a fully-associative cache (NumSets == 1) there is nothing to split and
 	// the dense engine runs regardless.
 	SetParallelism int
+	// Collector, when non-nil, receives the run's fixpoint and partition
+	// stats on completion (Result.Stats / Result.Partition always carry them
+	// regardless; the collector is for callers aggregating several runs and
+	// phases). A nil collector costs nothing on the hot path.
+	Collector *obs.Collector
 }
 
 // DefaultOptions mirrors the paper's experimental setup: 512-line 64-byte
@@ -163,6 +170,14 @@ type Result struct {
 	// successor, the rollback target, and the vn_stop merge point (the
 	// virtual control flow of §5.1 made explicit, e.g. for DOT export).
 	Flows []SpecFlow
+
+	// Stats carries the engine's semantic effort counters — deterministic
+	// across repeated runs and worker counts; summed over the per-set-group
+	// engines when partitioned. Partition describes the decomposition that
+	// ran (Engines=1, Groups=0 for the dense engine, including the dense
+	// fallback a trivial partition takes).
+	Stats     obs.FixpointStats
+	Partition obs.PartitionStats
 
 	domain *cache.Domain
 	idx    *interval.Result
@@ -241,16 +256,34 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (*Resul
 	}
 	g := cfg.New(prog)
 	idx := interval.Analyze(g)
+	var res *Result
 	if opts.SetParallelism >= 1 {
-		if res, handled, err := analyzePartitioned(ctx, prog, g, l, idx, opts); handled {
-			return res, err
+		r, handled, perr := analyzePartitioned(ctx, prog, g, l, idx, opts)
+		if perr != nil {
+			return nil, perr
+		}
+		if handled {
+			res = r
 		}
 	}
-	e := newEngine(prog, g, l, idx, opts)
-	if err := e.run(ctx); err != nil {
-		return nil, err
+	if res == nil {
+		e := newEngine(prog, g, l, idx, opts)
+		var runErr error
+		pprof.Do(ctx, pprof.Labels("phase", "fixpoint", "engine", "dense"), func(ctx context.Context) {
+			runErr = e.run(ctx)
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		res = e.result()
+		// The trivial-partition fallback lands here too, and must report the
+		// same PartitionStats as a pure dense run: at any SetParallelism a
+		// fully-associative config yields byte-identical stats.
+		res.Partition = obs.PartitionStats{Engines: 1, Groups: 0, DepthGroup: -1}
 	}
-	return e.result(), nil
+	opts.Collector.AddFixpoint(res.Stats)
+	opts.Collector.SetPartition(res.Partition)
+	return res, nil
 }
 
 func validateDepths(opts Options) error {

@@ -9,6 +9,7 @@ import (
 	"specabsint/internal/interval"
 	"specabsint/internal/ir"
 	"specabsint/internal/layout"
+	"specabsint/internal/obs"
 )
 
 // color identifies one speculative flow: branch block + predicted direction
@@ -113,9 +114,15 @@ type engine struct {
 	Lane [][]laneVal
 
 	// dirty flags: which flows at a block changed since last processed.
-	dirtyS    []bool
-	dirtySS   []map[int]bool
-	dirtyLane [][]bool
+	dirtyS  []bool
+	dirtySS []map[int]bool
+	// dirtySSOrder lists each block's dirty SS partitions in the order they
+	// became dirty, so process walks them deterministically (map range order
+	// would vary run to run, and the semantic counters — join/transfer
+	// totals, widening decisions — are pinned as run-to-run deterministic by
+	// the stats contract).
+	dirtySSOrder [][]int
+	dirtyLane    [][]bool
 
 	// change counters drive widening of speculative flows.
 	ssChanges   []map[int]int
@@ -157,6 +164,13 @@ type engine struct {
 	// precision that plain joins preserve).
 	loopHeader []bool
 	iter       int
+
+	// stats accumulates the engine's semantic effort counters in plain
+	// fields — no atomics, no indirection — and is copied into the Result
+	// once at the end of the run. The fields are deterministic because the
+	// whole engine is: the worklist, the dirty-flow orders, and every join
+	// are schedule-free single-goroutine computations.
+	stats obs.FixpointStats
 }
 
 func newEngine(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options) *engine {
@@ -170,27 +184,28 @@ func newEngine(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.R
 func newEngineShared(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options, access, accessSpec map[int]cache.Access) *engine {
 	n := len(prog.Blocks)
 	e := &engine{
-		prog:        prog,
-		g:           g,
-		l:           l,
-		dom:         &cache.Domain{L: l, Refined: opts.RefinedJoin},
-		idx:         idx,
-		opts:        opts,
-		access:      access,
-		accessSpec:  accessSpec,
-		pool:        cache.NewPool(l.NumBlocks),
-		S:           make([]*cache.State, n),
-		SS:          make([]map[int]*cache.State, n),
-		Lane:        make([][]laneVal, n),
-		dirtyS:      make([]bool, n),
-		dirtySS:     make([]map[int]bool, n),
-		dirtyLane:   make([][]bool, n),
-		ssChanges:   make([]map[int]int, n),
-		laneChanges: make([][]int, n),
-		colorsAt:    map[ir.BlockID][]*color{},
-		partByKey:   map[partKey]int{},
-		inWork:      make([]bool, n),
-		changes:     make([]int, n),
+		prog:         prog,
+		g:            g,
+		l:            l,
+		dom:          &cache.Domain{L: l, Refined: opts.RefinedJoin},
+		idx:          idx,
+		opts:         opts,
+		access:       access,
+		accessSpec:   accessSpec,
+		pool:         cache.NewPool(l.NumBlocks),
+		S:            make([]*cache.State, n),
+		SS:           make([]map[int]*cache.State, n),
+		Lane:         make([][]laneVal, n),
+		dirtyS:       make([]bool, n),
+		dirtySS:      make([]map[int]bool, n),
+		dirtySSOrder: make([][]int, n),
+		dirtyLane:    make([][]bool, n),
+		ssChanges:    make([]map[int]int, n),
+		laneChanges:  make([][]int, n),
+		colorsAt:     map[ir.BlockID][]*color{},
+		partByKey:    map[partKey]int{},
+		inWork:       make([]bool, n),
+		changes:      make([]int, n),
 	}
 	e.heap.order = make([]int, n)
 	for i := range e.heap.order {
@@ -332,6 +347,7 @@ func (e *engine) transferBlock(b *ir.Block, st *cache.State) *cache.State {
 	for i := range b.Instrs {
 		if acc, ok := e.access[b.Instrs[i].ID]; ok {
 			e.dom.Transfer(out, acc)
+			e.stats.Transfers++
 		}
 	}
 	return out
@@ -340,6 +356,7 @@ func (e *engine) transferBlock(b *ir.Block, st *cache.State) *cache.State {
 // joinS merges st into S[target], widening if the block keeps changing, and
 // re-enqueues the target on change.
 func (e *engine) joinS(target ir.BlockID, st *cache.State) {
+	e.stats.Joins++
 	widening := e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
 		e.changes[target] >= e.opts.WideningThreshold
 	var prev *cache.State
@@ -349,8 +366,10 @@ func (e *engine) joinS(target ir.BlockID, st *cache.State) {
 	if !e.dom.JoinInto(e.S[target], st) {
 		return
 	}
+	e.stats.JoinChanges++
 	if widening {
 		e.S[target] = e.dom.Widen(prev, e.S[target])
+		e.stats.Widenings++
 	}
 	e.changes[target]++
 	e.dirtyS[target] = true
@@ -362,6 +381,7 @@ func (e *engine) joinS(target ir.BlockID, st *cache.State) {
 // loops would otherwise creep one age step per fixpoint round (§6.3 applies
 // to speculative flows just as much as to normal ones).
 func (e *engine) joinSS(target ir.BlockID, pid int, st *cache.State) {
+	e.stats.SpecJoins++
 	cur, ok := e.SS[target][pid]
 	if !ok {
 		cur = cache.Bottom()
@@ -378,15 +398,20 @@ func (e *engine) joinSS(target ir.BlockID, pid int, st *cache.State) {
 	}
 	if widening {
 		e.SS[target][pid] = e.dom.Widen(prev, cur)
+		e.stats.Widenings++
 	}
 	e.ssChanges[target][pid]++
-	e.dirtySS[target][pid] = true
+	if !e.dirtySS[target][pid] {
+		e.dirtySS[target][pid] = true
+		e.dirtySSOrder[target] = append(e.dirtySSOrder[target], pid)
+	}
 	e.enqueue(target)
 }
 
 // joinLane merges a lane value (state join, budget max) and re-enqueues on
 // change, widening after repeated growth.
 func (e *engine) joinLane(target ir.BlockID, colorID int, lv laneVal) {
+	e.stats.LaneJoins++
 	if e.Lane[target] == nil {
 		// One arena of bottom states for all colors at this block: the lane
 		// universe is dense (every mispredicted branch seeds all its colors),
@@ -416,6 +441,7 @@ func (e *engine) joinLane(target ir.BlockID, colorID int, lv laneVal) {
 	changed := e.dom.JoinInto(cur.st, lv.st)
 	if changed && widening {
 		cur.st = e.dom.Widen(prev, cur.st)
+		e.stats.Widenings++
 	}
 	if lv.budget > cur.budget {
 		cur.budget = lv.budget
@@ -464,6 +490,7 @@ func (e *engine) process(n ir.BlockID) {
 		}
 		for _, c := range e.colorsAt[n] {
 			e.joinLane(c.specSucc, c.id, laneVal{st: out, budget: depth})
+			e.stats.LanesSpawned++
 		}
 	}
 
@@ -482,8 +509,12 @@ func (e *engine) process(n ir.BlockID) {
 
 	// Speculative post-rollback flows (Algorithm 2/3: SS states). At the
 	// color's vn_stop they convert back into the normal state; elsewhere
-	// they propagate in parallel with it.
-	for pid := range e.dirtySS[n] {
+	// they propagate in parallel with it. The snapshot of the dirty order
+	// keeps the walk deterministic; flows re-dirtied while we process them
+	// (self-loops) land in a fresh order slice and re-enqueue the block.
+	dirtySS := e.dirtySSOrder[n]
+	e.dirtySSOrder[n] = nil
+	for _, pid := range dirtySS {
 		delete(e.dirtySS[n], pid)
 		st := e.SS[n][pid]
 		p := e.parts[pid]
@@ -513,9 +544,12 @@ func (e *engine) process(n ir.BlockID) {
 			for _, s := range e.succs[n] {
 				e.joinLane(s, colorID, out)
 			}
+		} else {
+			e.stats.LanesExpired++
 		}
 		if !rollback.IsBottom {
 			e.injectRollback(c, n, rollback)
+			e.stats.Rollbacks++
 		}
 		e.pool.Put(out.st)
 		e.pool.Put(rollback)
@@ -544,6 +578,7 @@ func (e *engine) laneWalk(b *ir.Block, lv laneVal) (laneVal, *cache.State) {
 		budget--
 		if acc, ok := e.accessSpec[b.Instrs[i].ID]; ok {
 			e.dom.Transfer(st, acc)
+			e.stats.SpecTransfers++
 			e.dom.JoinInto(rollback, st)
 		}
 	}
@@ -628,19 +663,31 @@ func (e *engine) depthFor(block *ir.Block, src *cache.State, fk flowKey) int {
 		}
 		return e.opts.DepthMiss
 	}
-	return e.depthForLive(block, src)
+	d, hit := e.depthForLive(block, src)
+	// Count only live decisions (not oracle lookups or recordDepths replays):
+	// a decision is one §6.2 classification of the branch slice against the
+	// current state, pruned to b_h on a proved must-hit.
+	if hit {
+		e.stats.DepthHitBounds++
+	} else {
+		e.stats.DepthMissBounds++
+	}
+	return d
 }
 
-func (e *engine) depthForLive(block *ir.Block, src *cache.State) int {
+// depthForLive reports the speculation depth for a branch against a concrete
+// source state, plus whether §6.2 pruned it to the must-hit bound b_h (the
+// bool disambiguates the two cases when DepthHit == DepthMiss).
+func (e *engine) depthForLive(block *ir.Block, src *cache.State) (int, bool) {
 	bs, ok := e.slices[block.ID]
 	if !ok {
 		bs.loads, bs.resolved = branchSlice(block)
 	}
 	if !bs.resolved {
-		return e.opts.DepthMiss
+		return e.opts.DepthMiss, false
 	}
 	if len(bs.loads) == 0 {
-		return e.opts.DepthHit
+		return e.opts.DepthHit, true
 	}
 	sliceLoads := bs.loads
 	st := e.pool.Get()
@@ -653,11 +700,11 @@ func (e *engine) depthForLive(block *ir.Block, src *cache.State) int {
 			continue
 		}
 		if sliceLoads[in.ID] && e.dom.Classify(st, acc) != cache.AlwaysHit {
-			return e.opts.DepthMiss
+			return e.opts.DepthMiss, false
 		}
 		e.dom.Transfer(st, acc)
 	}
-	return e.opts.DepthHit
+	return e.opts.DepthHit, true
 }
 
 // recordDepths replays §6.2's depth decision against the converged states of
@@ -674,7 +721,8 @@ func (e *engine) recordDepths() depthOracle {
 			continue
 		}
 		if !e.S[b.ID].IsBottom {
-			o[depthKey{block: b.ID, flow: normalFlow}] = e.depthForLive(b, e.S[b.ID])
+			d, _ := e.depthForLive(b, e.S[b.ID])
+			o[depthKey{block: b.ID, flow: normalFlow}] = d
 		}
 		for pid, st := range e.SS[b.ID] {
 			if st.IsBottom {
@@ -682,7 +730,8 @@ func (e *engine) recordDepths() depthOracle {
 			}
 			p := e.parts[pid]
 			fk := flowKey{colorID: p.color.id, src: p.src}
-			o[depthKey{block: b.ID, flow: fk}] = e.depthForLive(b, st)
+			d, _ := e.depthForLive(b, st)
+			o[depthKey{block: b.ID, flow: fk}] = d
 		}
 	}
 	return o
@@ -738,6 +787,10 @@ func (e *engine) result() *Result {
 		idx:        e.idx,
 	}
 	res.PoolStats = e.pool.Stats()
+	e.stats.Iterations = int64(e.iter)
+	e.stats.Colors = int64(len(e.colors))
+	e.stats.StatesPooled = int64(res.PoolStats.Reused())
+	res.Stats = e.stats
 	for _, c := range e.colors {
 		res.Flows = append(res.Flows, SpecFlow{
 			Branch:    c.branch,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime/pprof"
 	"sort"
 
 	"specabsint/internal/cache"
@@ -9,6 +10,7 @@ import (
 	"specabsint/internal/interval"
 	"specabsint/internal/ir"
 	"specabsint/internal/layout"
+	"specabsint/internal/obs"
 	"specabsint/internal/par"
 )
 
@@ -188,8 +190,12 @@ func analyzePartitioned(ctx context.Context, prog *ir.Program, g *cfg.Graph, l *
 	}
 	if part.depthGroup >= 0 {
 		ge := newGroupEngine(part.depthGroup)
-		if err := ge.run(ctx); err != nil {
-			return nil, true, err
+		var runErr error
+		pprof.Do(ctx, pprof.Labels("phase", "fixpoint", "engine", "depth-group"), func(ctx context.Context) {
+			runErr = ge.run(ctx)
+		})
+		if runErr != nil {
+			return nil, true, runErr
 		}
 		oracle = ge.recordDepths()
 		results[part.depthGroup] = ge.result()
@@ -204,8 +210,12 @@ func analyzePartitioned(ctx context.Context, prog *ir.Program, g *cfg.Graph, l *
 	par.ForEach(workers, len(rest), func(k int) {
 		ge := newGroupEngine(rest[k])
 		ge.oracle = oracle
-		if err := ge.run(ctx); err != nil {
-			errs[k] = err
+		var runErr error
+		pprof.Do(ctx, pprof.Labels("phase", "fixpoint", "engine", "set-group"), func(ctx context.Context) {
+			runErr = ge.run(ctx)
+		})
+		if runErr != nil {
+			errs[k] = runErr
 			return
 		}
 		results[rest[k]] = ge.result()
@@ -243,12 +253,26 @@ func stitchResults(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interv
 	for _, r := range results {
 		res.Iterations += r.Iterations
 		res.PoolStats.Add(r.PoolStats)
+		// Integer sums are schedule-independent, so the stitched counters are
+		// identical at every worker count even though the groups finish in
+		// arbitrary order.
+		res.Stats.Add(r.Stats)
 		for id, ai := range r.Access {
 			res.Access[id] = ai
 		}
 		for id, cls := range r.SpecAccess {
 			res.SpecAccess[id] = cls
 		}
+	}
+	sets := 0
+	for _, g := range part.groups {
+		sets += len(g)
+	}
+	res.Partition = obs.PartitionStats{
+		Engines:      len(engines),
+		Groups:       len(part.groups),
+		DepthGroup:   part.depthGroup,
+		SetsAnalyzed: sets,
 	}
 
 	for b := 0; b < n; b++ {

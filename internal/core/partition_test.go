@@ -100,9 +100,19 @@ func TestPartitionedMatchesDenseCorpus(t *testing.T) {
 			requireSameResult(t, fmt.Sprintf("%s workers=%d vs dense", name, w), dense, part)
 			if first == nil {
 				first = part
-			} else if part.Iterations != first.Iterations {
-				t.Fatalf("%s workers=%d: %d iterations, want %d (must not depend on worker count)",
-					name, w, part.Iterations, first.Iterations)
+			} else {
+				if part.Iterations != first.Iterations {
+					t.Fatalf("%s workers=%d: %d iterations, want %d (must not depend on worker count)",
+						name, w, part.Iterations, first.Iterations)
+				}
+				if part.Stats != first.Stats {
+					t.Fatalf("%s workers=%d: semantic counters depend on worker count:\n got %+v\nwant %+v",
+						name, w, part.Stats, first.Stats)
+				}
+				if part.Partition != first.Partition {
+					t.Fatalf("%s workers=%d: partition stats depend on worker count:\n got %+v\nwant %+v",
+						name, w, part.Partition, first.Partition)
+				}
 			}
 		}
 	}
@@ -174,6 +184,7 @@ func TestPartitionedMatchesDenseRandom(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: dense: %v", trial, err)
 		}
+		var first *Result
 		for _, w := range workersList {
 			opts.SetParallelism = w
 			part, err := Analyze(prog, opts)
@@ -181,6 +192,12 @@ func TestPartitionedMatchesDenseRandom(t *testing.T) {
 				t.Fatalf("trial %d workers=%d: %v", trial, w, err)
 			}
 			requireSameResult(t, fmt.Sprintf("trial %d workers=%d", trial, w), dense, part)
+			if first == nil {
+				first = part
+			} else if part.Stats != first.Stats || part.Partition != first.Partition {
+				t.Fatalf("trial %d workers=%d: stats depend on worker count:\n got %+v %+v\nwant %+v %+v",
+					trial, w, part.Stats, part.Partition, first.Stats, first.Partition)
+			}
 		}
 		// Concrete oracle check on the partitioned configuration: identical
 		// results make one simulation cover every worker count.

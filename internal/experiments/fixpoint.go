@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"specabsint/internal/bench"
@@ -29,10 +30,54 @@ type FixpointSample struct {
 	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
 }
 
+// BenchMeta identifies the environment a benchmark report was produced in.
+// Without it, ns/op entries recorded on different machines or toolchains are
+// silently incomparable; with it, a regression can be told apart from a
+// hardware change.
+type BenchMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Commit is the VCS revision baked in by the Go toolchain (empty when the
+	// binary was built outside version control); "-dirty" marks uncommitted
+	// changes.
+	Commit string `json:"commit,omitempty"`
+}
+
+// NewBenchMeta samples the current process's environment.
+func NewBenchMeta() BenchMeta {
+	m := BenchMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		modified := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.Commit = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+		if m.Commit != "" && modified {
+			m.Commit += "-dirty"
+		}
+	}
+	return m
+}
+
 // FixpointReport is the machine-readable output of the fixpoint benchmark.
 type FixpointReport struct {
 	Kernel string `json:"kernel"`
 	Rounds int    `json:"rounds"`
+	// Meta records the environment the numbers were measured in.
+	Meta BenchMeta `json:"meta"`
 	// Now measures the engine on the raw lowered IR (passes off) — the same
 	// configuration Baseline was recorded under, keeping the pre-pooling
 	// comparison apples-to-apples across PRs.
@@ -129,6 +174,7 @@ func FixpointBench(rounds int) (*FixpointReport, error) {
 	rep := &FixpointReport{
 		Kernel:            kernel,
 		Rounds:            rounds,
+		Meta:              NewBenchMeta(),
 		Now:               now,
 		Baseline:          FixpointBaseline,
 		WithPasses:        withPasses,

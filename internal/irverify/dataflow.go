@@ -39,13 +39,25 @@ func defOf(in *ir.Instr) (ir.Reg, bool) {
 // bitset is a fixed-width bit vector over dense cross-register indices.
 type bitset []uint64
 
-func newBitset(bits int) bitset     { return make(bitset, (bits+63)/64) }
-func (s bitset) set(i int)          { s[i/64] |= 1 << (i % 64) }
-func (s bitset) has(i int) bool     { return s[i/64]&(1<<(i%64)) != 0 }
-func (s bitset) fill()              { for i := range s { s[i] = ^uint64(0) } }
-func (s bitset) copyFrom(o bitset)  { copy(s, o) }
-func (s bitset) union(o bitset)     { for i := range s { s[i] |= o[i] } }
-func (s bitset) intersect(o bitset) { for i := range s { s[i] &= o[i] } }
+func newBitset(bits int) bitset { return make(bitset, (bits+63)/64) }
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+func (s bitset) fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+func (s bitset) copyFrom(o bitset) { copy(s, o) }
+func (s bitset) union(o bitset) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+func (s bitset) intersect(o bitset) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
 func (s bitset) equal(o bitset) bool {
 	for i := range s {
 		if s[i] != o[i] {

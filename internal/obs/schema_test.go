@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample builds a fully-populated Stats document.
+func sample() *Stats {
+	return &Stats{
+		Program: ProgramStats{Blocks: 5, Instrs: 40, Symbols: 3, MemAccesses: 12,
+			CondBranches: 2, ResolvedBranches: 1},
+		Passes: []PassStat{{Name: "sccp", Changed: 4}, {Name: "resolve", Changed: 1}},
+		Fixpoint: FixpointStats{Iterations: 9, Joins: 20, JoinChanges: 12, SpecJoins: 3,
+			LaneJoins: 6, Transfers: 80, SpecTransfers: 30, Widenings: 1,
+			Colors: 2, LanesSpawned: 2, LanesExpired: 1, Rollbacks: 4,
+			DepthHitBounds: 1, DepthMissBounds: 3, StatesPooled: 15},
+		Partition: PartitionStats{Engines: 1, Groups: 0, DepthGroup: -1, SetsAnalyzed: 4},
+		Phases:    []PhaseStat{{Name: "parse", Nanos: 1000}, {Name: "fixpoint", Nanos: 5000}},
+	}
+}
+
+// TestSchemaAcceptsStats is the positive direction: every Stats the code can
+// produce must serialize to a schema-valid document.
+func TestSchemaAcceptsStats(t *testing.T) {
+	for name, s := range map[string]*Stats{
+		"full":    sample(),
+		"zeroed":  sample().ZeroTimes(),
+		"minimal": {Partition: PartitionStats{Engines: 1, DepthGroup: -1}},
+	} {
+		doc, err := s.JSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		if err := ValidateStats(doc); err != nil {
+			t.Fatalf("%s: schema rejected own output: %v\n%s", name, err, doc)
+		}
+	}
+}
+
+// TestSchemaRejectsDrift is the negative direction: documents that drift
+// from the contract (missing counters, renamed fields, wrong types) must
+// fail validation with a path-bearing error.
+func TestSchemaRejectsDrift(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the expected error
+	}{
+		{"not json", `{`, "invalid JSON"},
+		{"root not object", `[1,2]`, "want object"},
+		{"missing fixpoint", `{"program":{"blocks":0,"instrs":0,"symbols":0,"mem_accesses":0,"cond_branches":0,"resolved_branches":0},"partition":{"engines":1,"groups":0,"depth_group":-1,"sets_analyzed":0}}`,
+			`missing required property "fixpoint"`},
+		{"unknown counter", ``, `unknown property "bogus"`}, // patched below
+		{"float iterations", ``, "want integer"},            // patched below
+		{"negative engines", ``, "below minimum"},           // patched below
+	}
+	// Build the structured cases from a valid document so they stay in sync
+	// with the schema.
+	valid, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases[3].doc = strings.Replace(string(valid), `"blocks": 5`, `"blocks": 5, "bogus": 1`, 1)
+	cases[4].doc = strings.Replace(string(valid), `"iterations": 9`, `"iterations": 9.5`, 1)
+	cases[5].doc = strings.Replace(string(valid), `"engines": 1`, `"engines": 0`, 1)
+
+	for _, tc := range cases {
+		err := ValidateStats([]byte(tc.doc))
+		if err == nil {
+			t.Fatalf("%s: validation passed, want failure", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSchemaCoversEveryField catches schema rot in the other direction: a
+// field added to the structs but not the schema would make every CI
+// stats-smoke run fail with "unknown property", because the schema pins
+// additionalProperties: false. Serialize a document with every field set
+// non-zero and require acceptance — plus spot-check that the embedded schema
+// really does forbid unknowns at each level.
+func TestSchemaCoversEveryField(t *testing.T) {
+	doc, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateStats(doc); err != nil {
+		t.Fatalf("schema out of sync with Stats struct: %v", err)
+	}
+	for _, inject := range []struct{ anchor, name string }{
+		{`"blocks": 5`, "program"},
+		{`"iterations": 9`, "fixpoint"},
+		{`"engines": 1`, "partition"},
+	} {
+		mutated := strings.Replace(string(doc), inject.anchor, inject.anchor+`, "zz_new_field": 1`, 1)
+		if err := ValidateStats([]byte(mutated)); err == nil {
+			t.Fatalf("schema silently accepts unknown field in %s section", inject.name)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Stats is the full observability snapshot of one compile + analyze run: the
+// instrument panel behind Report.Stats, `specanalyze -stats`, and the CI
+// stats-smoke diff. Its serialized form is a public contract, pinned by
+// golden tests and by internal/obs/stats.schema.json.
+//
+// The counters split into two classes with different guarantees:
+//
+//   - Semantic counters (Program, Passes, Fixpoint, Partition) describe what
+//     the analysis *computed* — how many fixpoint iterations ran, how many
+//     lanes were spawned, how often §6.2 pruned the speculation window. They
+//     are a pure function of (program, options): byte-identical across
+//     repeated runs, across SetParallelism worker counts, and across the
+//     goroutine schedules of the partitioned engine.
+//   - Wall-clock fields (Phases, and nothing else) measure where time went.
+//     They vary run to run; ZeroTimes clears them for diffable output.
+type Stats struct {
+	// Program describes the analyzed IR after lowering and passes.
+	Program ProgramStats `json:"program"`
+	// Passes records the pre-analysis pipeline's per-pass effect.
+	Passes []PassStat `json:"passes,omitempty"`
+	// Fixpoint carries the engine's semantic effort counters.
+	Fixpoint FixpointStats `json:"fixpoint"`
+	// Partition describes the per-cache-set decomposition that ran.
+	Partition PartitionStats `json:"partition"`
+	// Phases is the wall-clock breakdown, in execution order. The only
+	// nondeterministic section of the report.
+	Phases []PhaseStat `json:"phases,omitempty"`
+}
+
+// ProgramStats is the shape of the analyzed program.
+type ProgramStats struct {
+	// Blocks and Instrs count basic blocks and instructions after lowering.
+	Blocks int `json:"blocks"`
+	Instrs int `json:"instrs"`
+	// Symbols counts memory-resident variables.
+	Symbols int `json:"symbols"`
+	// MemAccesses counts static Load/Store instructions.
+	MemAccesses int `json:"mem_accesses"`
+	// CondBranches counts conditional branches; ResolvedBranches the subset
+	// statically decided by the pass pipeline (they spawn no lanes).
+	CondBranches     int `json:"cond_branches"`
+	ResolvedBranches int `json:"resolved_branches"`
+}
+
+// Lanes returns the number of speculative flows the engine must consider:
+// two per unresolved conditional branch (§6.4, one color per predicted
+// direction).
+func (p ProgramStats) Lanes() int { return 2 * (p.CondBranches - p.ResolvedBranches) }
+
+// PassStat records one pre-analysis pass's effect.
+type PassStat struct {
+	Name string `json:"name"`
+	// Changed counts rewritten operands (sccp, copyprop), branches marked
+	// resolved (resolve), or instructions nopped (dce).
+	Changed int `json:"changed"`
+}
+
+// FixpointStats are the engine's semantic effort counters — the paper's
+// evaluation columns (§7 Tables 2-4) as first-class data. Every field is
+// deterministic: identical across repeated runs and worker counts. In the
+// partitioned analysis the counters are sums over the per-set-group engines,
+// so they differ from the dense engine's (SetParallelism 0) — the engines
+// solve different flow systems — but are identical at every SetParallelism
+// >= 1. The struct is flat and comparable with ==.
+type FixpointStats struct {
+	// Iterations counts worklist block processings (the paper's #Iteration).
+	Iterations int64 `json:"iterations"`
+	// Joins counts state joins attempted into normal-flow block entries;
+	// JoinChanges the subset that changed the target state.
+	Joins       int64 `json:"joins"`
+	JoinChanges int64 `json:"join_changes"`
+	// SpecJoins counts joins into post-rollback (SS) flows, LaneJoins joins
+	// into wrong-path lane states.
+	SpecJoins int64 `json:"spec_joins"`
+	LaneJoins int64 `json:"lane_joins"`
+	// Transfers counts cache-domain transfer applications on architectural
+	// flows; SpecTransfers the same on wrong-path lanes.
+	Transfers     int64 `json:"transfers"`
+	SpecTransfers int64 `json:"spec_transfers"`
+	// Widenings counts §6.3 widening applications across all flow kinds.
+	Widenings int64 `json:"widenings"`
+	// Colors counts the speculative flows the engine built: two per
+	// unresolved, effectively-reachable conditional branch (§6.4). It is
+	// structural — identical in every per-set-group engine — so Add treats
+	// it as set-once rather than summed.
+	Colors int64 `json:"colors"`
+	// LanesSpawned counts lane injections at mispredicted branches (a color
+	// seeded with a fresh speculation budget); LanesExpired counts lane
+	// walks that exhausted their budget inside a block.
+	LanesSpawned int64 `json:"lanes_spawned"`
+	LanesExpired int64 `json:"lanes_expired"`
+	// Rollbacks counts rollback states injected into the architectural flow
+	// (every memory access inside a speculation window accumulates one).
+	Rollbacks int64 `json:"rollbacks"`
+	// DepthHitBounds counts §6.2 decisions that proved the branch condition
+	// a must-hit and used the small window b_h (the depth-oracle prunes);
+	// DepthMissBounds counts decisions falling back to b_m.
+	DepthHitBounds  int64 `json:"depth_hit_bounds"`
+	DepthMissBounds int64 `json:"depth_miss_bounds"`
+	// StatesPooled counts scratch states served from the engine free list
+	// instead of the heap.
+	StatesPooled int64 `json:"states_pooled"`
+}
+
+// Add accumulates o into s (used to sum per-set-group engines; integer sums
+// are schedule-independent, which is what keeps the partitioned counters
+// deterministic at any worker count).
+func (s *FixpointStats) Add(o FixpointStats) {
+	s.Iterations += o.Iterations
+	s.Joins += o.Joins
+	s.JoinChanges += o.JoinChanges
+	s.SpecJoins += o.SpecJoins
+	s.LaneJoins += o.LaneJoins
+	s.Transfers += o.Transfers
+	s.SpecTransfers += o.SpecTransfers
+	s.Widenings += o.Widenings
+	if s.Colors == 0 {
+		s.Colors = o.Colors
+	}
+	s.LanesSpawned += o.LanesSpawned
+	s.LanesExpired += o.LanesExpired
+	s.Rollbacks += o.Rollbacks
+	s.DepthHitBounds += o.DepthHitBounds
+	s.DepthMissBounds += o.DepthMissBounds
+	s.StatesPooled += o.StatesPooled
+}
+
+// PartitionStats describes the per-cache-set decomposition (PR 2's
+// partitioned fixpoint). The dense single-fixpoint engine reports Engines=1,
+// Groups=0.
+type PartitionStats struct {
+	// Engines counts fixpoint engines run (1 dense, or one per set group).
+	Engines int `json:"engines"`
+	// Groups counts independent cache-set groups (0 when dense).
+	Groups int `json:"groups"`
+	// DepthGroup is the index of the group owning the branch-slice loads
+	// (§6.2's depth decisions), -1 when none or dense.
+	DepthGroup int `json:"depth_group"`
+	// SetsAnalyzed counts cache sets touched by at least one access.
+	SetsAnalyzed int `json:"sets_analyzed"`
+}
+
+// PhaseStat is one wall-clock phase sample.
+type PhaseStat struct {
+	Name string `json:"name"`
+	// Nanos is the phase's wall-clock duration. Nondeterministic; zeroed by
+	// ZeroTimes for diffable output.
+	Nanos int64 `json:"nanos"`
+}
+
+// Clone returns a deep copy (the slices are copied, not shared).
+func (s *Stats) Clone() *Stats {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Passes = append([]PassStat(nil), s.Passes...)
+	c.Phases = append([]PhaseStat(nil), s.Phases...)
+	return &c
+}
+
+// ZeroTimes clears every wall-clock field in place, leaving only the
+// deterministic semantic counters. Phase names (and their order) are kept:
+// which phases ran is part of the contract, how long they took is not.
+func (s *Stats) ZeroTimes() *Stats {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Phases {
+		s.Phases[i].Nanos = 0
+	}
+	return s
+}
+
+// JSON renders the canonical serialized form: two-space indent, trailing
+// newline — the exact bytes `specanalyze -stats=json` prints and the golden
+// tests pin.
+func (s *Stats) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteText renders the human-readable form (`specanalyze -stats=text`):
+// one glossary-ordered line per counter, aligned for scanning.
+func (s *Stats) WriteText(w io.Writer) {
+	p, f, pt := s.Program, s.Fixpoint, s.Partition
+	fmt.Fprintf(w, "program:   %d blocks, %d instrs, %d symbols, %d mem accesses\n",
+		p.Blocks, p.Instrs, p.Symbols, p.MemAccesses)
+	fmt.Fprintf(w, "branches:  %d conditional, %d resolved statically -> %d speculative lanes\n",
+		p.CondBranches, p.ResolvedBranches, p.Lanes())
+	for _, ps := range s.Passes {
+		fmt.Fprintf(w, "pass:      %-8s changed %d\n", ps.Name, ps.Changed)
+	}
+	fmt.Fprintf(w, "fixpoint:  %d iterations, %d joins (%d changed), %d spec joins, %d lane joins\n",
+		f.Iterations, f.Joins, f.JoinChanges, f.SpecJoins, f.LaneJoins)
+	fmt.Fprintf(w, "           %d transfers, %d spec transfers, %d widenings, %d states pooled\n",
+		f.Transfers, f.SpecTransfers, f.Widenings, f.StatesPooled)
+	fmt.Fprintf(w, "lanes:     %d colors, %d spawned, %d expired, %d rollbacks injected\n",
+		f.Colors, f.LanesSpawned, f.LanesExpired, f.Rollbacks)
+	fmt.Fprintf(w, "depth 6.2: %d pruned to b_h, %d at b_m\n",
+		f.DepthHitBounds, f.DepthMissBounds)
+	if pt.Groups > 0 {
+		fmt.Fprintf(w, "partition: %d engines over %d set groups (%d sets analyzed, depth group %d)\n",
+			pt.Engines, pt.Groups, pt.SetsAnalyzed, pt.DepthGroup)
+	} else {
+		fmt.Fprintf(w, "partition: dense single fixpoint\n")
+	}
+	for _, ph := range s.Phases {
+		fmt.Fprintf(w, "phase:     %-12s %.3f ms\n", ph.Name, float64(ph.Nanos)/1e6)
+	}
+}
+
+// SortPasses orders the pass stats by name. The pipeline records passes in
+// execution order, which is already deterministic; this helper exists for
+// callers merging stats from differently-ordered sources.
+func (s *Stats) SortPasses() {
+	sort.SliceStable(s.Passes, func(i, j int) bool { return s.Passes[i].Name < s.Passes[j].Name })
+}
+
+// PoolSnapshot is the expvar-style state of a runner.Pool, for long-running
+// batch services. Counters are cumulative since pool creation; Running and
+// QueueDepth are instantaneous gauges.
+type PoolSnapshot struct {
+	// Workers is the pool's configured concurrency.
+	Workers int `json:"workers"`
+	// Submitted counts jobs handed to Run; Completed those that finished
+	// (successfully or not).
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	// Running is the number of jobs executing right now.
+	Running int64 `json:"running"`
+	// QueueDepth is Submitted - Completed - Running: jobs waiting for a
+	// worker.
+	QueueDepth int64 `json:"queue_depth"`
+	// Panics counts jobs that crashed (isolated into PanicError); Canceled
+	// counts jobs that returned a context error.
+	Panics   int64 `json:"panics"`
+	Canceled int64 `json:"canceled"`
+	// CacheHits / CacheMisses are the compiled-program cache's counters.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}

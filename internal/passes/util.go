@@ -44,7 +44,11 @@ func (s bitset) set(i int)         { s[i/64] |= 1 << (i % 64) }
 func (s bitset) clear(i int)       { s[i/64] &^= 1 << (i % 64) }
 func (s bitset) has(i int) bool    { return s[i/64]&(1<<(i%64)) != 0 }
 func (s bitset) copyFrom(o bitset) { copy(s, o) }
-func (s bitset) union(o bitset)    { for i := range s { s[i] |= o[i] } }
+func (s bitset) union(o bitset) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
 func (s bitset) equal(o bitset) bool {
 	for i := range s {
 		if s[i] != o[i] {

@@ -23,15 +23,20 @@ package runner
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
+	"expvar"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"specabsint/internal/core"
 	"specabsint/internal/ir"
 	"specabsint/internal/lower"
+	"specabsint/internal/obs"
 	"specabsint/internal/passes"
 	"specabsint/internal/sidechannel"
 	"specabsint/internal/source"
@@ -139,6 +144,16 @@ type progEntry struct {
 type Pool struct {
 	workers int
 
+	// Lifecycle metrics, atomics so Snapshot never contends with workers.
+	// Jobs dropped by cancellation before any worker picked them up count as
+	// completed + canceled, keeping Submitted == Completed + Running +
+	// queue-resident at every instant.
+	submitted atomic.Int64
+	completed atomic.Int64
+	running   atomic.Int64
+	panics    atomic.Int64
+	canceled  atomic.Int64
+
 	mu     sync.Mutex
 	progs  map[progKey]*progEntry
 	hits   int64
@@ -164,6 +179,37 @@ func (p *Pool) CacheStats() (hits, misses int64) {
 	return p.hits, p.misses
 }
 
+// Snapshot returns the pool's expvar-style state: cumulative job counters,
+// instantaneous running/queue gauges, and the program cache's hit rate. The
+// counters are read individually (not under one lock), so a snapshot taken
+// while jobs move between states is approximately — not transactionally —
+// consistent; QueueDepth is clamped at zero for that reason.
+func (p *Pool) Snapshot() obs.PoolSnapshot {
+	hits, misses := p.CacheStats()
+	s := obs.PoolSnapshot{
+		Workers:     p.workers,
+		Submitted:   p.submitted.Load(),
+		Completed:   p.completed.Load(),
+		Running:     p.running.Load(),
+		Panics:      p.panics.Load(),
+		Canceled:    p.canceled.Load(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+	if d := s.Submitted - s.Completed - s.Running; d > 0 {
+		s.QueueDepth = d
+	}
+	return s
+}
+
+// PublishExpvar registers the pool's live snapshot under name in the
+// process-wide expvar registry, so batch services expose it on /debug/vars
+// alongside the runtime's memstats. Like expvar.Publish, it panics if name
+// is already registered — publish each pool once, at startup.
+func (p *Pool) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return p.Snapshot() }))
+}
+
 // Run fans jobs out across the pool's workers and streams results in
 // completion order. The returned channel is closed after the last result;
 // the caller must drain it. When ctx is canceled, jobs already running
@@ -171,6 +217,7 @@ func (p *Pool) CacheStats() (hits, misses int64) {
 // and jobs not yet started are dropped (RunAll converts those into per-job
 // context errors).
 func (p *Pool) Run(ctx context.Context, jobs []Job) <-chan Result {
+	p.submitted.Add(int64(len(jobs)))
 	out := make(chan Result)
 	feed := make(chan int)
 	go func() {
@@ -179,6 +226,10 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) <-chan Result {
 			select {
 			case feed <- i:
 			case <-ctx.Done():
+				// Jobs never handed to a worker: account them as completed
+				// cancellations so the snapshot gauges reconcile.
+				p.completed.Add(int64(len(jobs) - i))
+				p.canceled.Add(int64(len(jobs) - i))
 				return
 			}
 		}
@@ -229,11 +280,13 @@ func (p *Pool) RunAll(ctx context.Context, jobs []Job) []Result {
 
 // runJob executes one job with panic isolation.
 func (p *Pool) runJob(ctx context.Context, idx int, j Job) (res Result) {
+	p.running.Add(1)
 	res = Result{Index: idx, Name: j.Name}
 	start := time.Now()
 	defer func() {
 		res.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
+			p.panics.Add(1)
 			res = Result{
 				Index:   idx,
 				Name:    j.Name,
@@ -241,6 +294,11 @@ func (p *Pool) runJob(ctx context.Context, idx int, j Job) (res Result) {
 				Err:     &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()},
 			}
 		}
+		if res.Err != nil && (errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded)) {
+			p.canceled.Add(1)
+		}
+		p.running.Add(-1)
+		p.completed.Add(1)
 	}()
 	if err := ctx.Err(); err != nil {
 		res.Err = err
@@ -260,31 +318,36 @@ func (p *Pool) runJob(ctx context.Context, idx int, j Job) (res Result) {
 		}
 	}
 	res.Prog = prog
-	switch j.Mode {
-	case ModeSideChannel:
-		rep, err := sidechannel.AnalyzeContext(ctx, prog, j.Opts)
-		if err != nil {
-			res.Err = err
-			return res
+	// The job and mode labels make a CPU profile of a batch attributable:
+	// samples group by which benchmark and pipeline they burned time in.
+	pprof.Do(ctx, pprof.Labels("job", j.Name, "mode", modeLabel(j.Mode)), func(ctx context.Context) {
+		switch j.Mode {
+		case ModeSideChannel:
+			rep, err := sidechannel.AnalyzeContext(ctx, prog, j.Opts)
+			if err != nil {
+				res.Err = err
+				return
+			}
+			res.Leaks = rep
+			res.Analysis = rep.Analysis
+		case ModeICache:
+			res.Analysis, res.Err = core.AnalyzeInstructionCacheContext(ctx, prog, j.Opts)
+		default:
+			res.Analysis, res.Err = core.AnalyzeContext(ctx, prog, j.Opts)
 		}
-		res.Leaks = rep
-		res.Analysis = rep.Analysis
-	case ModeICache:
-		out, err := core.AnalyzeInstructionCacheContext(ctx, prog, j.Opts)
-		if err != nil {
-			res.Err = err
-			return res
-		}
-		res.Analysis = out
-	default:
-		out, err := core.AnalyzeContext(ctx, prog, j.Opts)
-		if err != nil {
-			res.Err = err
-			return res
-		}
-		res.Analysis = out
-	}
+	})
 	return res
+}
+
+// modeLabel names a Mode for profiler labels.
+func modeLabel(m Mode) string {
+	switch m {
+	case ModeSideChannel:
+		return "sidechannel"
+	case ModeICache:
+		return "icache"
+	}
+	return "analyze"
 }
 
 // compile parses and lowers source through the cache. Concurrent requests

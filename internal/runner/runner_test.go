@@ -2,7 +2,9 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"reflect"
 	"sync"
@@ -11,6 +13,7 @@ import (
 	"specabsint/internal/bench"
 	"specabsint/internal/core"
 	"specabsint/internal/layout"
+	"specabsint/internal/obs"
 	"specabsint/internal/sidechannel"
 )
 
@@ -291,5 +294,79 @@ func TestPoolReuseAcrossRuns(t *testing.T) {
 	_, missesAfter := p.CacheStats()
 	if missesAfter != missesBefore {
 		t.Errorf("second run recompiled: misses %d -> %d", missesBefore, missesAfter)
+	}
+}
+
+// TestPoolSnapshotCounters drives the pool through success, panic, blocking
+// and cancellation, checking the expvar-style gauges at each stage.
+func TestPoolSnapshotCounters(t *testing.T) {
+	p := New(2)
+	if s := p.Snapshot(); s != (obs.PoolSnapshot{Workers: 2}) {
+		t.Fatalf("fresh pool snapshot = %+v", s)
+	}
+	ok := func(context.Context) (*core.Result, *sidechannel.Report, error) {
+		return &core.Result{}, nil, nil
+	}
+	p.RunAll(context.Background(), []Job{
+		{Name: "a", run: ok},
+		{Name: "boom", run: func(context.Context) (*core.Result, *sidechannel.Report, error) {
+			panic("deliberate crash")
+		}},
+		{Name: "b", run: ok},
+	})
+	s := p.Snapshot()
+	want := obs.PoolSnapshot{Workers: 2, Submitted: 3, Completed: 3, Panics: 1}
+	if s != want {
+		t.Fatalf("after batch: %+v, want %+v", s, want)
+	}
+
+	// A canceled batch: two jobs park on the context, a third never starts
+	// (or starts only to observe the canceled context — both count as
+	// canceled completions, so the totals are deterministic either way).
+	ctx, cancel := context.WithCancel(context.Background())
+	running := make(chan struct{}, 2)
+	block := func(ctx context.Context) (*core.Result, *sidechannel.Report, error) {
+		running <- struct{}{}
+		<-ctx.Done()
+		return nil, nil, ctx.Err()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.RunAll(ctx, []Job{
+			{Name: "b0", run: block},
+			{Name: "b1", run: block},
+			{Name: "b2", run: block},
+		})
+	}()
+	<-running // both workers are parked inside a job
+	<-running
+	if s := p.Snapshot(); s.Running != 2 || s.QueueDepth != 1 {
+		t.Fatalf("mid-batch: running %d queue %d, want 2 and 1", s.Running, s.QueueDepth)
+	}
+	cancel()
+	<-done
+	s = p.Snapshot()
+	want = obs.PoolSnapshot{Workers: 2, Submitted: 6, Completed: 6, Panics: 1, Canceled: 3}
+	if s != want {
+		t.Fatalf("after cancel: %+v, want %+v", s, want)
+	}
+}
+
+// TestPublishExpvar checks the pool registers on the process expvar page and
+// renders its snapshot as JSON.
+func TestPublishExpvar(t *testing.T) {
+	p := New(1)
+	p.PublishExpvar("specabsint-runner-test-pool")
+	v := expvar.Get("specabsint-runner-test-pool")
+	if v == nil {
+		t.Fatal("PublishExpvar did not register the variable")
+	}
+	var snap obs.PoolSnapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("published value is not JSON: %v\n%s", err, v.String())
+	}
+	if snap.Workers != 1 {
+		t.Fatalf("published snapshot %+v, want Workers=1", snap)
 	}
 }

@@ -88,10 +88,14 @@ func Analyze(prog *ir.Program, opts core.Options) (*Report, error) {
 // AnalyzeContext is Analyze with cancellation, threaded through the
 // underlying fixpoint computation.
 func AnalyzeContext(ctx context.Context, prog *ir.Program, opts core.Options) (*Report, error) {
+	col := opts.Collector
+	stopFix := col.StartPhase("fixpoint")
 	res, err := core.AnalyzeContext(ctx, prog, opts)
+	stopFix()
 	if err != nil {
 		return nil, err
 	}
+	defer col.StartPhase("sidechannel")()
 	tnt := taint.Analyze(prog)
 	rep := &Report{
 		Analysis:       res,

@@ -67,6 +67,16 @@ func WithSetParallelism(n int) Option {
 	return func(c *Config) { c.SetParallelism = n }
 }
 
+// WithStats populates Report.Stats with the run's observability snapshot:
+// program shape, pass effects, the deterministic fixpoint counters, the
+// cache-set partition, and per-phase wall clock. Off by default — the
+// un-instrumented engine path allocates nothing for stats. Everything except
+// the phase timings is deterministic: identical across repeated runs and
+// across WithSetParallelism worker counts.
+func WithStats(on bool) Option {
+	return func(c *Config) { c.Stats = on }
+}
+
 // WithPasses toggles the analysis-preserving pass pipeline (SCCP, copy
 // propagation, branch resolution, DCE) that runs after lowering. On by
 // default; it only affects CompileOpts and the compilations AnalyzeBatch

@@ -33,6 +33,7 @@ import (
 	"specabsint/internal/layout"
 	"specabsint/internal/lower"
 	"specabsint/internal/machine"
+	"specabsint/internal/obs"
 	"specabsint/internal/passes"
 	"specabsint/internal/sidechannel"
 	"specabsint/internal/source"
@@ -70,13 +71,41 @@ const (
 // WCETEstimate summarizes the timing analysis.
 type WCETEstimate = wcet.Estimate
 
+// Stats is the full observability snapshot of one compile + analyze run:
+// program shape, pass effects, deterministic fixpoint counters, the cache-set
+// partition that ran, and per-phase wall clock. Request it with
+// WithStats(true); read it from Report.Stats. All counters except
+// Phases[].Nanos are deterministic — identical across repeated runs and
+// across SetParallelism worker counts. Stats.JSON renders the canonical form
+// validated by internal/obs/stats.schema.json.
+type Stats = obs.Stats
+
+// Component types of Stats, aliased so callers can name them.
+type (
+	ProgramStats   = obs.ProgramStats
+	PassStat       = obs.PassStat
+	FixpointStats  = obs.FixpointStats
+	PartitionStats = obs.PartitionStats
+	PhaseStat      = obs.PhaseStat
+)
+
 // CompiledProgram is a lowered MiniC program ready for analysis.
 type CompiledProgram struct {
 	prog *ir.Program
+	// stats holds the compile-time observability snapshot (program shape,
+	// pass effects, parse/lower/passes phase timings); analyzeConfig replays
+	// it into the analysis collector when stats are requested.
+	stats *obs.Stats
 }
 
 // IR exposes the compiled program's textual IR listing (for debugging).
 func (p *CompiledProgram) IR() string { return p.prog.String() }
+
+// Stats returns the compile-time observability snapshot: the program's shape
+// after lowering and passes, each pass's effect, and the parse/lower/passes
+// wall-clock phases. Analysis counters are absent — run AnalyzeContext with
+// WithStats(true) and read Report.Stats for the full picture.
+func (p *CompiledProgram) Stats() *Stats { return p.stats.Clone() }
 
 // Internal returns the internal IR program. It is exported for the
 // command-line tools and examples living in this module.
@@ -113,6 +142,10 @@ type Config struct {
 	// goroutines (1 = partitioned but serial). 0, the default, runs the
 	// single dense fixpoint. Results are identical at every value.
 	SetParallelism int
+	// Stats populates Report.Stats with the observability snapshot (compile
+	// phases, pass effects, fixpoint counters, partition shape). Off by
+	// default; the un-instrumented analysis path is allocation-free.
+	Stats bool
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -182,6 +215,10 @@ type Report struct {
 	// on speculative paths whose address may carry a value read out of
 	// bounds past a mis-speculated bounds check.
 	SpectreGadgets []string
+	// Stats is the observability snapshot, populated only when the analysis
+	// ran with WithStats(true) (nil otherwise). Everything except
+	// Stats.Phases[].Nanos is deterministic.
+	Stats *Stats
 }
 
 // CompileOpts parses and lowers MiniC source. Only WithMaxUnroll (and a
@@ -206,7 +243,13 @@ func CompileWith(src string, cfg Config) (*CompiledProgram, error) {
 }
 
 func compileConfig(src string, cfg Config) (*CompiledProgram, error) {
-	ast, err := source.Parse(src)
+	// Compile-time stats are collected unconditionally: the counters are a
+	// handful of integers and the phase timers two clock reads each, noise
+	// next to parsing and lowering. WithStats only gates the analysis side.
+	col := obs.NewCollector()
+	var ast *source.Program
+	var err error
+	col.Phase("parse", func() { ast, err = source.Parse(src) })
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -214,16 +257,35 @@ func compileConfig(src string, cfg Config) (*CompiledProgram, error) {
 	if cfg.MaxUnroll > 0 {
 		lopts.MaxUnroll = cfg.MaxUnroll
 	}
-	prog, err := lower.Lower(ast, lopts)
+	var prog *ir.Program
+	col.Phase("lower", func() { prog, err = lower.Lower(ast, lopts) })
 	if err != nil {
 		return nil, wrapErr(err)
 	}
 	if cfg.Passes {
-		if _, err := passes.Run(prog, passes.Default()); err != nil {
+		var pres *passes.Result
+		col.Phase("passes", func() { pres, err = passes.Run(prog, passes.Default()) })
+		if err != nil {
 			return nil, wrapErr(err)
 		}
+		for _, ps := range pres.Stats {
+			col.AddPass(ps.Name, ps.Changed)
+		}
 	}
-	return &CompiledProgram{prog: prog}, nil
+	col.SetProgram(programStats(prog))
+	return &CompiledProgram{prog: prog, stats: col.Snapshot()}, nil
+}
+
+// programStats summarizes the IR shape after lowering and passes.
+func programStats(prog *ir.Program) ProgramStats {
+	return ProgramStats{
+		Blocks:           len(prog.Blocks),
+		Instrs:           prog.InstrCount(),
+		Symbols:          len(prog.Symbols),
+		MemAccesses:      prog.MemAccessCount(),
+		CondBranches:     prog.CondBranchCount(),
+		ResolvedBranches: prog.ResolvedBranchCount(),
+	}
 }
 
 // AnalyzeContext runs the speculation-aware cache analysis and both
@@ -243,11 +305,30 @@ func Analyze(p *CompiledProgram, cfg Config) (*Report, error) {
 }
 
 func analyzeConfig(ctx context.Context, p *CompiledProgram, cfg Config) (*Report, error) {
-	rep, err := sidechannel.AnalyzeContext(ctx, p.prog, cfg.coreOptions())
+	copts := cfg.coreOptions()
+	var col *obs.Collector
+	if cfg.Stats {
+		col = obs.NewCollector()
+		// Replay the compile-time snapshot so one Stats document covers the
+		// whole pipeline: program shape, pass effects, then analysis phases.
+		if cs := p.stats; cs != nil {
+			col.SetProgram(cs.Program)
+			for _, ps := range cs.Passes {
+				col.AddPass(ps.Name, ps.Changed)
+			}
+			for _, ph := range cs.Phases {
+				col.AddPhase(ph.Name, ph.Nanos)
+			}
+		}
+		copts.Collector = col
+	}
+	rep, err := sidechannel.AnalyzeContext(ctx, p.prog, copts)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	return buildReport(p.prog, rep), nil
+	out := buildReport(p.prog, rep)
+	out.Stats = col.Snapshot()
+	return out, nil
 }
 
 // buildReport converts the internal side-channel report into the public
