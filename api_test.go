@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"strconv"
 	"strings"
 	"testing"
 )
@@ -23,9 +22,9 @@ func reportJSON(t *testing.T, rep *Report) string {
 	return string(out)
 }
 
-// TestOptionsMatchConfig checks the two API generations agree: the
-// option-based path must produce exactly the report of the deprecated
-// Config path.
+// TestOptionsMatchConfig checks the two views of the configuration agree:
+// a Config rendered back to options (the wire path, Config.Options) must
+// produce exactly the report the hand-written option list does.
 func TestOptionsMatchConfig(t *testing.T) {
 	prog, err := CompileOpts(apiProgram, tightOptions()...)
 	if err != nil {
@@ -35,12 +34,40 @@ func TestOptionsMatchConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaCfg, err := Analyze(prog, tightConfig())
+	viaCfg, err := AnalyzeContext(context.Background(), prog, tightConfig().Options()...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got, want := reportJSON(t, viaOpts), reportJSON(t, viaCfg); got != want {
 		t.Errorf("options path diverges from Config path:\n%s\n%s", got, want)
+	}
+}
+
+// TestConfigOptionsRoundTrip: Options() must reproduce any Config exactly —
+// the invariant the wire protocol's option reconstruction rests on.
+func TestConfigOptionsRoundTrip(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(),
+		tightConfig(),
+		{}, // the zero Config: every field must be emitted, not defaulted
+		{
+			Cache:                CacheConfig{LineSize: 32, NumSets: 8, Assoc: 2},
+			Speculative:          true,
+			DepthMiss:            7,
+			DepthHit:             3,
+			DynamicDepthBounding: true,
+			Strategy:             PerRollbackBlock,
+			RefinedJoin:          true,
+			MaxUnroll:            5,
+			Passes:               false,
+			SetParallelism:       4,
+			Stats:                true,
+		},
+	}
+	for i, cfg := range cfgs {
+		if got := newConfig(cfg.Options()); got != cfg {
+			t.Errorf("config %d did not round-trip:\ngot  %+v\nwant %+v", i, got, cfg)
+		}
 	}
 }
 
@@ -225,24 +252,6 @@ func TestAnalyzeBatchCanceled(t *testing.T) {
 	}
 }
 
-// leakLine extracts the source line from a rendered leak ("line N: ...").
-func leakLine(t *testing.T, leak string) int {
-	t.Helper()
-	rest, ok := strings.CutPrefix(leak, "line ")
-	if !ok {
-		t.Fatalf("leak %q does not start with a line number", leak)
-	}
-	num, _, ok := strings.Cut(rest, ":")
-	if !ok {
-		t.Fatalf("leak %q does not start with a line number", leak)
-	}
-	n, err := strconv.Atoi(num)
-	if err != nil {
-		t.Fatalf("leak %q: %v", leak, err)
-	}
-	return n
-}
-
 // TestLeaksSortedBySourceLine checks Report.Leaks come back in source order.
 func TestLeaksSortedBySourceLine(t *testing.T) {
 	// Partially preloading both tables leaves the secret-indexed accesses
@@ -271,10 +280,12 @@ int main() {
 	}
 	prev := 0
 	for _, l := range rep.Leaks {
-		line := leakLine(t, l)
-		if line < prev {
+		if !strings.HasPrefix(l.String(), "line ") {
+			t.Errorf("leak %q lost its rendered line prefix", l)
+		}
+		if l.Line < prev {
 			t.Errorf("leaks out of source order: %v", rep.Leaks)
 		}
-		prev = line
+		prev = l.Line
 	}
 }

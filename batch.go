@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"specabsint/internal/obs"
 	"specabsint/internal/runner"
 )
 
@@ -29,8 +30,12 @@ type BatchResult struct {
 	Index int
 	// Name echoes the job's label.
 	Name string
-	// Report is the completed analysis; nil when Err is set.
+	// Report is the completed analysis; nil when Err is set. Report.Stats is
+	// populated when the job ran with WithStats(true).
 	Report *Report
+	// CacheHit reports the result was served from a Service's report cache
+	// without running the analysis (always false for plain AnalyzeBatch).
+	CacheHit bool
 	// Elapsed is the job's wall-clock time (compile + analysis).
 	Elapsed time.Duration
 	// Err is the job's failure: a compile or analysis error (errors.As
@@ -39,51 +44,49 @@ type BatchResult struct {
 	Err error
 }
 
-// AnalyzeBatch fans the jobs out across GOMAXPROCS workers and returns one
-// result per job, in job order. Batch-level opts configure every job;
-// per-job BatchJob.Options override them. Failures are isolated per job —
-// panics included — and do not stop the rest of the batch; the returned
-// error is nil when every job succeeded, and a *BatchError aggregating the
-// per-job failures otherwise. Cancelling ctx stops running fixpoints at
-// their next iteration and fails the remaining jobs with ErrCanceled.
-//
-// Analysis results are deterministic: a batch produces exactly the reports
-// the equivalent serial AnalyzeContext calls would.
-func AnalyzeBatch(ctx context.Context, jobs []BatchJob, opts ...Option) ([]BatchResult, error) {
-	pool := runner.New(0)
-	rjobs := make([]runner.Job, len(jobs))
-	for i, j := range jobs {
-		cfg := newConfig(opts)
-		for _, o := range j.Options {
-			if o != nil {
-				o(&cfg)
-			}
+// runnerJob lowers one BatchJob into the pool's job form: batch-level opts
+// first, per-job overrides on top, a fresh stats collector when requested.
+func runnerJob(j BatchJob, base []Option, cache bool) runner.Job {
+	cfg := newConfig(base)
+	for _, o := range j.Options {
+		if o != nil {
+			o(&cfg)
 		}
-		rj := runner.Job{
-			Name:      j.Name,
-			Source:    j.Source,
-			MaxUnroll: cfg.MaxUnroll,
-			Passes:    cfg.Passes,
-			Opts:      cfg.coreOptions(),
-			Mode:      runner.ModeSideChannel,
-		}
-		if j.Prog != nil {
-			rj.Prog = j.Prog.prog
-		}
-		rjobs[i] = rj
 	}
-	results := make([]BatchResult, len(jobs))
-	for _, r := range pool.RunAll(ctx, rjobs) {
-		br := BatchResult{Index: r.Index, Name: r.Name, Elapsed: r.Elapsed}
-		if r.Err != nil {
-			br.Err = wrapErr(r.Err)
-		} else {
-			br.Report = buildReport(r.Prog, r.Leaks)
-		}
-		results[r.Index] = br
+	copts := cfg.coreOptions()
+	if cfg.Stats {
+		copts.Collector = obs.NewCollector()
 	}
-	// Aggregate failures in job order, deterministic however the workers
-	// interleaved.
+	rj := runner.Job{
+		Name:      j.Name,
+		Source:    j.Source,
+		MaxUnroll: cfg.MaxUnroll,
+		Passes:    cfg.Passes,
+		Opts:      copts,
+		Mode:      runner.ModeSideChannel,
+		Cache:     cache,
+	}
+	if j.Prog != nil {
+		rj.Prog = j.Prog.prog
+	}
+	return rj
+}
+
+// batchResult lifts one pool result into the public form.
+func batchResult(r runner.Result) BatchResult {
+	br := BatchResult{Index: r.Index, Name: r.Name, Elapsed: r.Elapsed, CacheHit: r.CacheHit}
+	if r.Err != nil {
+		br.Err = wrapErr(r.Err)
+		return br
+	}
+	br.Report = buildReport(r.Prog, r.Leaks)
+	br.Report.Stats = r.Stats
+	return br
+}
+
+// batchError aggregates per-job failures in job order, deterministic however
+// the workers interleaved; nil when every job succeeded.
+func batchError(results []BatchResult) error {
 	var batchErr *BatchError
 	for _, br := range results {
 		if br.Err == nil {
@@ -97,7 +100,32 @@ func AnalyzeBatch(ctx context.Context, jobs []BatchJob, opts ...Option) ([]Batch
 		})
 	}
 	if batchErr != nil {
-		return results, batchErr
+		return batchErr
 	}
-	return results, nil
+	return nil
+}
+
+// AnalyzeBatch fans the jobs out across GOMAXPROCS workers and returns one
+// result per job, in job order. Batch-level opts configure every job;
+// per-job BatchJob.Options override them. Failures are isolated per job —
+// panics included — and do not stop the rest of the batch; the returned
+// error is nil when every job succeeded, and a *BatchError aggregating the
+// per-job failures otherwise. Cancelling ctx stops running fixpoints at
+// their next iteration and fails the remaining jobs with ErrCanceled.
+//
+// Analysis results are deterministic: a batch produces exactly the reports
+// the equivalent serial AnalyzeContext calls would. Long-lived callers that
+// want the batch engine plus the content-addressed report cache should hold
+// a Service instead — AnalyzeBatch builds a fresh pool per call.
+func AnalyzeBatch(ctx context.Context, jobs []BatchJob, opts ...Option) ([]BatchResult, error) {
+	pool := runner.New(0)
+	rjobs := make([]runner.Job, len(jobs))
+	for i, j := range jobs {
+		rjobs[i] = runnerJob(j, opts, false)
+	}
+	results := make([]BatchResult, len(jobs))
+	for _, r := range pool.RunAll(ctx, rjobs) {
+		results[r.Index] = batchResult(r)
+	}
+	return results, batchError(results)
 }

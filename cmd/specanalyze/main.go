@@ -15,7 +15,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +26,7 @@ import (
 	"specabsint"
 	"specabsint/internal/bench"
 	"specabsint/internal/obs"
+	"specabsint/wire"
 )
 
 func main() {
@@ -149,11 +149,13 @@ func main() {
 		return
 	}
 	if *asJSON {
-		out, err := json.MarshalIndent(rep, "", "  ")
+		// The canonical wire encoding — the same bytes specserve returns in
+		// AnalyzeResponse.Report for this program and configuration.
+		out, err := wire.EncodeReport(rep)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(string(out))
+		os.Stdout.Write(out)
 		return
 	}
 

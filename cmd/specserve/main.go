@@ -1,0 +1,100 @@
+// Command specserve is the specabsint analysis daemon: an HTTP/JSON service
+// that compiles and analyzes MiniC programs through a shared worker pool
+// with a two-tier content-addressed cache. The wire contract is frozen at
+// v1 (specabsint/wire, docs/API.md); identical requests are answered from
+// the report cache without re-running the analysis.
+//
+// Usage:
+//
+//	specserve [-addr :8723] [-workers N] [-queue N] [-timeout 30s]
+//	          [-prog-cache N] [-report-cache N]
+//
+// Endpoints: POST /v1/analyze, POST /v1/batch, POST /v1/batch/stream (NDJSON),
+// GET /v1/metrics, GET /v1/healthz, GET /debug/vars (expvar; pool snapshot
+// under "specserve.pool").
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: readiness flips to
+// 503, in-flight requests finish (bounded by -drain-timeout), and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specabsint"
+	"specabsint/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	workers := flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", serve.DefaultQueueBound, "admission queue bound (jobs); excess requests get 429")
+	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request analysis deadline (<0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight work on shutdown")
+	progCache := flag.Int("prog-cache", 0, "compiled-program cache bound in entries (0 = default, <0 unbounded)")
+	reportCache := flag.Int("report-cache", 0, "report cache bound in entries (0 = default, <0 unbounded)")
+	flag.Parse()
+
+	svc := specabsint.NewService(specabsint.ServiceConfig{
+		Workers:           *workers,
+		ProgramCacheBound: *progCache,
+		ReportCacheBound:  *reportCache,
+	})
+	svc.PublishExpvar("specserve.pool")
+
+	srv := serve.New(serve.Config{
+		Service:        svc,
+		QueueBound:     *queue,
+		RequestTimeout: *timeout,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	httpSrv := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("specserve: %v", err)
+	}
+	log.Printf("specserve: listening on %s (queue=%d timeout=%v)", ln.Addr(), *queue, *timeout)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("specserve: %v received, draining", sig)
+	case err := <-errc:
+		log.Fatalf("specserve: %v", err)
+	}
+
+	// Drain: stop routing (healthz 503, new work 503), close the listener
+	// and wait for in-flight handlers, then settle the pool.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "specserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "specserve: drain: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("specserve: drained, exiting")
+}

@@ -10,8 +10,8 @@ import (
 )
 
 // ParseError is a MiniC front-end diagnostic with its source position.
-// Compilation errors returned by CompileOpts (and the legacy Compile
-// wrappers) satisfy errors.As for *ParseError through the package's
+// Compilation errors returned by CompileOpts satisfy errors.As for
+// *ParseError through the package's
 // "specabsint:" wrapping, so callers can recover the exact line and column:
 //
 //	var perr *specabsint.ParseError

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ int main() {
 }`
 
 func main() {
-	prog, err := specabsint.Compile(program)
+	prog, err := specabsint.CompileOpts(program)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,15 +39,14 @@ func main() {
 	// A small cache makes the effect visible: 19 lines fit the table (16),
 	// p, one branch arm, and the key cell exactly — the mis-speculated
 	// other arm is the 20th line that does not fit.
-	cfg := specabsint.DefaultConfig()
-	cfg.Cache = specabsint.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 19}
+	ctx := context.Background()
+	small := specabsint.WithCache(specabsint.CacheConfig{LineSize: 64, NumSets: 1, Assoc: 19})
 
-	specRep, err := specabsint.Analyze(prog, cfg)
+	specRep, err := specabsint.AnalyzeContext(ctx, prog, small)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.Speculative = false
-	baseRep, err := specabsint.Analyze(prog, cfg)
+	baseRep, err := specabsint.AnalyzeContext(ctx, prog, small, specabsint.WithSpeculation(false))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -94,10 +94,19 @@ func TestGoldenFig2Report(t *testing.T) {
 			fmt.Fprintf(&sb, "line %2d %-5s %-3s x%-3d class=%-11s spec=%s\n",
 				k.line, kind, k.sym, counts[k], k.cls, specStr)
 		}
-		fmt.Fprintf(&sb, "leaks: %s\n", strings.Join(rep.Leaks, "; "))
-		fmt.Fprintf(&sb, "spectre gadgets: %s\n\n", strings.Join(rep.SpectreGadgets, "; "))
+		fmt.Fprintf(&sb, "leaks: %s\n", strings.Join(leakStrings(rep.Leaks), "; "))
+		fmt.Fprintf(&sb, "spectre gadgets: %s\n\n", strings.Join(leakStrings(rep.SpectreGadgets), "; "))
 	}
 	checkGolden(t, "fig2-report.txt", sb.String())
+}
+
+// leakStrings renders structured leaks back to their report lines.
+func leakStrings(leaks []Leak) []string {
+	out := make([]string, len(leaks))
+	for i, l := range leaks {
+		out[i] = l.String()
+	}
+	return out
 }
 
 // TestGoldenFig3Traces pins the concrete speculative traces of Fig. 3: the

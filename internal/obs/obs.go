@@ -123,6 +123,26 @@ func (c *Collector) SetPartition(p PartitionStats) {
 	c.mu.Unlock()
 }
 
+// Replay merges a previously captured snapshot into the collector: program
+// shape and partition are overwritten, passes and phases appended, fixpoint
+// counters summed. It is how cached work (a shared compilation, a report-
+// cache hit) contributes its stats to a fresh run's document. A nil receiver
+// or a nil snapshot is a no-op.
+func (c *Collector) Replay(s *Stats) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Program = s.Program
+	c.stats.Passes = append(c.stats.Passes, s.Passes...)
+	c.stats.Fixpoint.Add(s.Fixpoint)
+	if s.Partition != (PartitionStats{}) {
+		c.stats.Partition = s.Partition
+	}
+	c.stats.Phases = append(c.stats.Phases, s.Phases...)
+}
+
 // Snapshot returns a deep copy of the collected stats; the collector can
 // keep accumulating afterwards.
 func (c *Collector) Snapshot() *Stats {

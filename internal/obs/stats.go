@@ -248,7 +248,28 @@ type PoolSnapshot struct {
 	// counts jobs that returned a context error.
 	Panics   int64 `json:"panics"`
 	Canceled int64 `json:"canceled"`
-	// CacheHits / CacheMisses are the compiled-program cache's counters.
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
+	// CacheHits / CacheMisses / CacheEvictions / CacheSize are the compiled-
+	// program tier's counters: how often a job's source was already lowered.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheSize      int64 `json:"cache_size"`
+	// ReportCache* are the report tier's counters: how often an identical
+	// (source, options, mode) request was answered without running the
+	// analysis at all. Together with the program tier above, both levels of
+	// the content-addressed cache are observable from one snapshot.
+	ReportCacheHits      int64 `json:"report_cache_hits"`
+	ReportCacheMisses    int64 `json:"report_cache_misses"`
+	ReportCacheEvictions int64 `json:"report_cache_evictions"`
+	ReportCacheSize      int64 `json:"report_cache_size"`
+}
+
+// ReportCacheHitRate returns hits/(hits+misses) for the report tier, or 0
+// before any lookup.
+func (s PoolSnapshot) ReportCacheHitRate() float64 {
+	total := s.ReportCacheHits + s.ReportCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReportCacheHits) / float64(total)
 }

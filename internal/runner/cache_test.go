@@ -1,0 +1,193 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/core"
+	"specabsint/internal/obs"
+)
+
+// cachedJob builds one report-cacheable side-channel job over src.
+func cachedJob(name, src string, opts core.Options) Job {
+	return Job{Name: name, Source: src, Opts: opts, Mode: ModeSideChannel, Cache: true}
+}
+
+// TestReportCacheHit checks that resubmitting an identical job is served
+// from the report cache with the same result and CacheHit set.
+func TestReportCacheHit(t *testing.T) {
+	p := New(2)
+	src := bench.Fig2Program(-1)
+	job := cachedJob("fig2", src, core.DefaultOptions())
+
+	cold := p.RunAll(context.Background(), []Job{job})[0]
+	if cold.Err != nil {
+		t.Fatal(cold.Err)
+	}
+	if cold.CacheHit {
+		t.Fatal("cold run reported CacheHit")
+	}
+	warm := p.RunAll(context.Background(), []Job{job})[0]
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("identical resubmit missed the report cache")
+	}
+	if !reflect.DeepEqual(cold.Leaks, warm.Leaks) {
+		t.Error("cached leaks differ from cold run")
+	}
+	if cold.Analysis != warm.Analysis || cold.Prog != warm.Prog {
+		t.Error("cached run did not return the stored analysis/program")
+	}
+	hits, misses, _ := p.ReportCacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("report cache stats: %d hits %d misses, want 1/1", hits, misses)
+	}
+}
+
+// TestReportCacheKeyedByOptions checks that any analysis-relevant option
+// change misses the report cache.
+func TestReportCacheKeyedByOptions(t *testing.T) {
+	p := New(2)
+	src := bench.Fig2Program(-1)
+	base := core.DefaultOptions()
+
+	variants := []core.Options{base}
+	o := base
+	o.Speculative = false
+	variants = append(variants, o)
+	o = base
+	o.DepthMiss += 10
+	variants = append(variants, o)
+	o = base
+	o.Strategy = core.StrategyPerRollbackBlock
+	variants = append(variants, o)
+	o = base
+	o.RefinedJoin = !base.RefinedJoin
+	variants = append(variants, o)
+	o = base
+	o.Collector = obs.NewCollector() // instrumented ≠ uninstrumented
+	variants = append(variants, o)
+
+	for i, opts := range variants {
+		r := p.RunAll(context.Background(), []Job{cachedJob(fmt.Sprintf("v%d", i), src, opts)})[0]
+		if r.Err != nil {
+			t.Fatalf("variant %d: %v", i, r.Err)
+		}
+		if r.CacheHit {
+			t.Errorf("variant %d hit the cache despite a distinct configuration", i)
+		}
+	}
+	hits, misses, _ := p.ReportCacheStats()
+	if hits != 0 || misses != int64(len(variants)) {
+		t.Errorf("report cache stats: %d hits %d misses, want 0/%d", hits, misses, len(variants))
+	}
+}
+
+// TestReportCacheUncachedJobs checks that Cache=false jobs never touch the
+// report tier.
+func TestReportCacheUncachedJobs(t *testing.T) {
+	p := New(1)
+	job := Job{Name: "plain", Source: bench.Fig2Program(-1), Opts: core.DefaultOptions(), Mode: ModeSideChannel}
+	for i := 0; i < 2; i++ {
+		if r := p.RunAll(context.Background(), []Job{job})[0]; r.Err != nil || r.CacheHit {
+			t.Fatalf("run %d: err=%v cacheHit=%v", i, r.Err, r.CacheHit)
+		}
+	}
+	hits, misses, _ := p.ReportCacheStats()
+	if hits != 0 || misses != 0 {
+		t.Errorf("uncached jobs touched the report tier: %d hits %d misses", hits, misses)
+	}
+}
+
+// TestReportCacheEviction checks the LRU bound: with room for one entry, two
+// distinct programs evict each other and re-running the first misses.
+func TestReportCacheEviction(t *testing.T) {
+	p := New(1)
+	p.SetCacheBounds(0, 1)
+	a := cachedJob("a", bench.Fig2Program(1), core.DefaultOptions())
+	b := cachedJob("b", bench.Fig2Program(2), core.DefaultOptions())
+
+	p.RunAll(context.Background(), []Job{a}) // miss, cached
+	p.RunAll(context.Background(), []Job{b}) // miss, evicts a
+	r := p.RunAll(context.Background(), []Job{a})[0]
+	if r.CacheHit {
+		t.Error("evicted entry served as a hit")
+	}
+	hits, misses, evictions := p.ReportCacheStats()
+	if hits != 0 || misses != 3 {
+		t.Errorf("report cache stats: %d hits %d misses, want 0/3", hits, misses)
+	}
+	if evictions < 2 {
+		t.Errorf("evictions = %d, want >= 2", evictions)
+	}
+	snap := p.Snapshot()
+	if snap.ReportCacheSize != 1 {
+		t.Errorf("report cache size = %d, want 1", snap.ReportCacheSize)
+	}
+	if snap.ReportCacheEvictions != evictions {
+		t.Errorf("snapshot evictions = %d, want %d", snap.ReportCacheEvictions, evictions)
+	}
+}
+
+// TestReportCacheStatsReplay checks that a cache hit replays the miss run's
+// stats document into the hit's collector: semantic counters must be
+// byte-identical between the cold and warm runs.
+func TestReportCacheStatsReplay(t *testing.T) {
+	p := New(2)
+	src := bench.Fig2Program(-1)
+	mkJob := func() (Job, *obs.Collector) {
+		opts := core.DefaultOptions()
+		c := obs.NewCollector()
+		opts.Collector = c
+		return cachedJob("fig2", src, opts), c
+	}
+	coldJob, coldC := mkJob()
+	if r := p.RunAll(context.Background(), []Job{coldJob})[0]; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	warmJob, warmC := mkJob()
+	r := p.RunAll(context.Background(), []Job{warmJob})[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !r.CacheHit {
+		t.Fatal("expected a report-cache hit")
+	}
+	cold, err := coldC.Snapshot().ZeroTimes().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := warmC.Snapshot().ZeroTimes().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cold) != string(warm) {
+		t.Errorf("replayed stats differ from cold run:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	if r.Stats == nil {
+		t.Error("cached result carries no stats snapshot")
+	}
+}
+
+// TestDrain checks that Drain returns once submitted work completes and
+// times out cleanly when it cannot.
+func TestDrain(t *testing.T) {
+	p := New(2)
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = cachedJob(fmt.Sprintf("j%d", i), bench.Fig2Program(i), core.DefaultOptions())
+	}
+	p.RunAll(context.Background(), jobs)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after completion: %v", err)
+	}
+	snap := p.Snapshot()
+	if snap.Submitted != snap.Completed {
+		t.Errorf("drained pool has %d submitted, %d completed", snap.Submitted, snap.Completed)
+	}
+}

@@ -10,11 +10,14 @@
 //     batch stops mid-analysis rather than after the current job;
 //   - panic isolation: a crash in one job becomes that job's *PanicError
 //     instead of killing the whole batch;
-//   - a compiled-program cache keyed by (source hash, lowering options), so
-//     a strategy sweep re-analyzing one benchmark under N configurations
-//     parses and lowers it once;
+//   - a two-tier content-addressed cache (see cache.go): compiled programs
+//     keyed by (source hash, lowering options), and — for Job.Cache jobs —
+//     full analysis results keyed additionally by the analysis options, so a
+//     resubmitted request skips the fixpoint entirely;
 //   - streamed results in completion order (Run) and a deterministic
-//     job-order wrapper (RunAll).
+//     job-order wrapper (RunAll);
+//   - graceful drain (Drain): a shutting-down service can wait for every
+//     in-flight job before exiting.
 //
 // Analyses are pure over the IR, so one compiled program is safely shared
 // by any number of concurrent jobs.
@@ -81,6 +84,12 @@ type Job struct {
 	Opts core.Options
 	// Mode selects the analysis pipeline (default ModeAnalyze).
 	Mode Mode
+	// Cache enables the report tier for this job: a previous successful run
+	// of the identical (source, lowering, options, mode) request is returned
+	// without re-running the analysis, and a miss stores its result for the
+	// next submission. Only Source jobs participate (the report cache is
+	// content-addressed; a caller-supplied Prog has no content key).
+	Cache bool
 
 	// run, when non-nil, replaces the built-in pipeline. Test seam for
 	// exercising pool mechanics (panics, blocking jobs) deterministically.
@@ -102,6 +111,13 @@ type Result struct {
 	Leaks *sidechannel.Report
 	// Elapsed is the job's wall-clock time (compile + analysis).
 	Elapsed time.Duration
+	// Stats is the run's observability snapshot: populated when the job ran
+	// with a collector (Opts.Collector != nil), whether the result was
+	// computed or served from the report cache.
+	Stats *obs.Stats
+	// CacheHit reports that the result was served from the report cache (no
+	// fixpoint ran for this job).
+	CacheHit bool
 	// Err is the job's failure, if any: a compile or analysis error, the
 	// context error for canceled jobs, or a *PanicError for crashed ones.
 	Err error
@@ -134,7 +150,11 @@ type progKey struct {
 type progEntry struct {
 	once sync.Once
 	prog *ir.Program
-	err  error
+	// stats is the compile-time observability snapshot (program shape, pass
+	// effects, parse/lower/passes phases), replayed into instrumented jobs so
+	// a cached compilation still yields a full stats document.
+	stats *obs.Stats
+	err   error
 }
 
 // Pool is a reusable batch-analysis service. The zero value is not usable;
@@ -155,24 +175,35 @@ type Pool struct {
 	canceled  atomic.Int64
 
 	mu     sync.Mutex
-	progs  map[progKey]*progEntry
+	progs  *lruCache[progKey, *progEntry]
 	hits   int64
 	misses int64
+
+	reports      *lruCache[reportKey, *reportEntry]
+	reportHits   int64
+	reportMisses int64
 }
 
 // New creates a pool with the given number of workers; workers <= 0 selects
-// GOMAXPROCS.
+// GOMAXPROCS. Both cache tiers start at their default bounds
+// (DefaultProgramCacheBound / DefaultReportCacheBound); SetCacheBounds
+// adjusts them.
 func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers, progs: map[progKey]*progEntry{}}
+	return &Pool{
+		workers: workers,
+		progs:   newLRU[progKey, *progEntry](DefaultProgramCacheBound),
+		reports: newLRU[reportKey, *reportEntry](DefaultReportCacheBound),
+	}
 }
 
 // Workers returns the pool's concurrency.
 func (p *Pool) Workers() int { return p.workers }
 
-// CacheStats returns the program cache's hit and miss counts.
+// CacheStats returns the program tier's hit and miss counts (the report
+// tier's live under ReportCacheStats; Snapshot carries both).
 func (p *Pool) CacheStats() (hits, misses int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -180,26 +211,46 @@ func (p *Pool) CacheStats() (hits, misses int64) {
 }
 
 // Snapshot returns the pool's expvar-style state: cumulative job counters,
-// instantaneous running/queue gauges, and the program cache's hit rate. The
-// counters are read individually (not under one lock), so a snapshot taken
-// while jobs move between states is approximately — not transactionally —
-// consistent; QueueDepth is clamped at zero for that reason.
+// instantaneous running/queue gauges, and both cache tiers' hit/miss/
+// eviction/size gauges. The counters are read individually (not under one
+// lock), so a snapshot taken while jobs move between states is approximately
+// — not transactionally — consistent; QueueDepth is clamped at zero for that
+// reason.
 func (p *Pool) Snapshot() obs.PoolSnapshot {
-	hits, misses := p.CacheStats()
 	s := obs.PoolSnapshot{
-		Workers:     p.workers,
-		Submitted:   p.submitted.Load(),
-		Completed:   p.completed.Load(),
-		Running:     p.running.Load(),
-		Panics:      p.panics.Load(),
-		Canceled:    p.canceled.Load(),
-		CacheHits:   hits,
-		CacheMisses: misses,
+		Workers:   p.workers,
+		Submitted: p.submitted.Load(),
+		Completed: p.completed.Load(),
+		Running:   p.running.Load(),
+		Panics:    p.panics.Load(),
+		Canceled:  p.canceled.Load(),
 	}
+	p.mu.Lock()
+	s.CacheHits, s.CacheMisses = p.hits, p.misses
+	s.CacheEvictions, s.CacheSize = p.progs.evictions, int64(p.progs.len())
+	s.ReportCacheHits, s.ReportCacheMisses = p.reportHits, p.reportMisses
+	s.ReportCacheEvictions, s.ReportCacheSize = p.reports.evictions, int64(p.reports.len())
+	p.mu.Unlock()
 	if d := s.Submitted - s.Completed - s.Running; d > 0 {
 		s.QueueDepth = d
 	}
 	return s
+}
+
+// Drain blocks until every job submitted before the call has completed, or
+// ctx expires. It does not stop new submissions — the caller (a shutting-
+// down server) is expected to have closed its intake first.
+func (p *Pool) Drain(ctx context.Context) error {
+	for {
+		if p.submitted.Load() == p.completed.Load() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // PublishExpvar registers the pool's live snapshot under name in the
@@ -308,14 +359,40 @@ func (p *Pool) runJob(ctx context.Context, idx int, j Job) (res Result) {
 		res.Analysis, res.Leaks, res.Err = j.run(ctx)
 		return res
 	}
+	// Report tier: identical successful requests are answered without
+	// compiling or running anything.
+	var rkey reportKey
+	cacheable := j.Cache && j.Prog == nil
+	if cacheable {
+		rkey = reportKey{
+			prog: p.progKeyFor(j.Source, j.MaxUnroll, j.Passes, j.Mode == ModeICache),
+			opts: fingerprintOptions(j.Opts),
+			mode: j.Mode,
+		}
+		if e, ok := p.reportGet(rkey); ok {
+			res.Prog = e.prog
+			res.Analysis = e.analysis
+			res.Leaks = e.leaks
+			res.CacheHit = true
+			if e.stats != nil {
+				res.Stats = e.stats.Clone()
+				j.Opts.Collector.Replay(e.stats)
+			}
+			return res
+		}
+	}
 	prog := j.Prog
 	if prog == nil {
 		var err error
-		prog, err = p.compile(j.Source, j.MaxUnroll, j.Passes, j.Mode == ModeICache)
+		var cstats *obs.Stats
+		prog, cstats, err = p.compile(j.Source, j.MaxUnroll, j.Passes, j.Mode == ModeICache)
 		if err != nil {
 			res.Err = err
 			return res
 		}
+		// Replay the (possibly cached) compilation's stats so instrumented
+		// jobs get the full document: shape, passes, then analysis phases.
+		j.Opts.Collector.Replay(cstats)
 	}
 	res.Prog = prog
 	// The job and mode labels make a CPU profile of a batch attributable:
@@ -336,6 +413,17 @@ func (p *Pool) runJob(ctx context.Context, idx int, j Job) (res Result) {
 			res.Analysis, res.Err = core.AnalyzeContext(ctx, prog, j.Opts)
 		}
 	})
+	if res.Err == nil {
+		res.Stats = j.Opts.Collector.Snapshot()
+		if cacheable {
+			p.reportPut(rkey, &reportEntry{
+				prog:     res.Prog,
+				analysis: res.Analysis,
+				leaks:    res.Leaks,
+				stats:    res.Stats,
+			})
+		}
+	}
 	return res
 }
 
@@ -350,18 +438,25 @@ func modeLabel(m Mode) string {
 	return "analyze"
 }
 
+// progKeyFor computes the program tier's content key.
+func (p *Pool) progKeyFor(src string, maxUnroll int, runPasses, icache bool) progKey {
+	return progKey{hash: sha256.Sum256([]byte(src)), maxUnroll: maxUnroll, passes: runPasses, icache: runPasses && icache}
+}
+
 // compile parses and lowers source through the cache. Concurrent requests
-// for the same (source, options) compile once and share the result.
-func (p *Pool) compile(src string, maxUnroll int, runPasses, icache bool) (*ir.Program, error) {
-	key := progKey{hash: sha256.Sum256([]byte(src)), maxUnroll: maxUnroll, passes: runPasses, icache: runPasses && icache}
+// for the same (source, options) compile once and share the result — and its
+// compile-time stats snapshot, so cached compilations still produce full
+// observability documents.
+func (p *Pool) compile(src string, maxUnroll int, runPasses, icache bool) (*ir.Program, *obs.Stats, error) {
+	key := p.progKeyFor(src, maxUnroll, runPasses, icache)
 	p.mu.Lock()
-	e, ok := p.progs[key]
+	e, ok := p.progs.get(key)
 	if ok {
 		p.hits++
 	} else {
 		p.misses++
 		e = &progEntry{}
-		p.progs[key] = e
+		p.progs.put(key, e)
 	}
 	p.mu.Unlock()
 	e.once.Do(func() {
@@ -370,7 +465,10 @@ func (p *Pool) compile(src string, maxUnroll int, runPasses, icache bool) (*ir.P
 				e.err = fmt.Errorf("compile panicked: %v", r)
 			}
 		}()
-		ast, err := source.Parse(src)
+		col := obs.NewCollector()
+		var ast *source.Program
+		var err error
+		col.Phase("parse", func() { ast, err = source.Parse(src) })
 		if err != nil {
 			e.err = err
 			return
@@ -379,14 +477,32 @@ func (p *Pool) compile(src string, maxUnroll int, runPasses, icache bool) (*ir.P
 		if maxUnroll > 0 {
 			opts.MaxUnroll = maxUnroll
 		}
-		e.prog, e.err = lower.Lower(ast, opts)
+		col.Phase("lower", func() { e.prog, e.err = lower.Lower(ast, opts) })
 		if e.err == nil && runPasses {
 			popts := passes.Default()
 			popts.ICacheModeled = icache
-			if _, perr := passes.Run(e.prog, popts); perr != nil {
+			var pres *passes.Result
+			var perr error
+			col.Phase("passes", func() { pres, perr = passes.Run(e.prog, popts) })
+			if perr != nil {
 				e.prog, e.err = nil, perr
+			} else {
+				for _, ps := range pres.Stats {
+					col.AddPass(ps.Name, ps.Changed)
+				}
 			}
 		}
+		if e.err == nil {
+			col.SetProgram(obs.ProgramStats{
+				Blocks:           len(e.prog.Blocks),
+				Instrs:           e.prog.InstrCount(),
+				Symbols:          len(e.prog.Symbols),
+				MemAccesses:      e.prog.MemAccessCount(),
+				CondBranches:     e.prog.CondBranchCount(),
+				ResolvedBranches: e.prog.ResolvedBranchCount(),
+			})
+			e.stats = col.Snapshot()
+		}
 	})
-	return e.prog, e.err
+	return e.prog, e.stats, e.err
 }

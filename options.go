@@ -93,6 +93,30 @@ func WithMaxUnroll(n int) Option {
 	return func(c *Config) { c.MaxUnroll = n }
 }
 
+// Options renders the Config as the equivalent option list: applying the
+// returned options to any starting configuration yields exactly c. Every
+// field is emitted explicitly (zero values included), so a Config decoded
+// from the wire — e.g. a specserve request — reconstructs the same analysis
+// the option-based entry points would run:
+//
+//	rep, err := specabsint.AnalyzeContext(ctx, prog, cfg.Options()...)
+//
+// The round trip is exact: newConfig(cfg.Options()) == cfg for every cfg.
+func (c Config) Options() []Option {
+	return []Option{
+		WithCache(c.Cache),
+		WithSpeculation(c.Speculative),
+		WithDepths(c.DepthMiss, c.DepthHit),
+		WithDynamicDepthBounding(c.DynamicDepthBounding),
+		WithStrategy(c.Strategy),
+		WithRefinedJoin(c.RefinedJoin),
+		WithMaxUnroll(c.MaxUnroll),
+		WithPasses(c.Passes),
+		WithSetParallelism(c.SetParallelism),
+		WithStats(c.Stats),
+	}
+}
+
 // newConfig applies opts on top of the paper's defaults.
 func newConfig(opts []Option) Config {
 	cfg := DefaultConfig()

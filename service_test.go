@@ -1,0 +1,106 @@
+package specabsint
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestServiceCacheHit checks the Service's report cache: identical resubmits
+// are hits with identical reports, different options miss.
+func TestServiceCacheHit(t *testing.T) {
+	svc := NewService(ServiceConfig{Workers: 2})
+	cold := svc.Analyze(t.Context(), "api", apiProgram, tightConfig().Options()...)
+	if cold.Err != nil {
+		t.Fatal(cold.Err)
+	}
+	if cold.CacheHit {
+		t.Fatal("cold run reported a cache hit")
+	}
+	warm := svc.Analyze(t.Context(), "api", apiProgram, tightConfig().Options()...)
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("identical resubmit missed the report cache")
+	}
+	if !reflect.DeepEqual(cold.Report, warm.Report) {
+		t.Error("cached report differs from the cold run")
+	}
+
+	other := svc.Analyze(t.Context(), "api", apiProgram, append(tightConfig().Options(), WithSpeculation(false))...)
+	if other.Err != nil {
+		t.Fatal(other.Err)
+	}
+	if other.CacheHit {
+		t.Error("different options hit the cache")
+	}
+
+	snap := svc.Snapshot()
+	if snap.ReportCacheHits != 1 || snap.ReportCacheMisses != 2 {
+		t.Errorf("report cache: %d hits %d misses, want 1/2", snap.ReportCacheHits, snap.ReportCacheMisses)
+	}
+}
+
+// TestServiceMatchesAnalyzeBatch checks the Service produces the same
+// reports as the one-shot AnalyzeBatch path.
+func TestServiceMatchesAnalyzeBatch(t *testing.T) {
+	jobs := make([]BatchJob, 6)
+	for i := range jobs {
+		jobs[i] = BatchJob{Name: fmt.Sprintf("j%d", i), Source: apiProgram}
+		if i%2 == 1 {
+			jobs[i].Options = []Option{WithSpeculation(false)}
+		}
+	}
+	opts := tightConfig().Options()
+
+	svc := NewService(ServiceConfig{Workers: 2})
+	viaService, err := svc.AnalyzeBatch(t.Context(), jobs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBatch, err := AnalyzeBatch(t.Context(), jobs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(viaService[i].Report, viaBatch[i].Report) {
+			t.Errorf("job %d: service and batch reports differ", i)
+		}
+	}
+}
+
+// TestServiceStream checks every job index arrives exactly once on the
+// stream and that repeated jobs are cache hits.
+func TestServiceStream(t *testing.T) {
+	svc := NewService(ServiceConfig{Workers: 2})
+	jobs := make([]BatchJob, 8)
+	for i := range jobs {
+		jobs[i] = BatchJob{Name: "same", Source: apiProgram}
+	}
+	seen := map[int]bool{}
+	hits := 0
+	for r := range svc.Stream(t.Context(), jobs, tightConfig().Options()...) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if seen[r.Index] {
+			t.Errorf("index %d delivered twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.CacheHit {
+			hits++
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Errorf("got %d results, want %d", len(seen), len(jobs))
+	}
+	// All jobs are identical; apart from races between concurrent cold
+	// misses, later ones are served from the cache.
+	if hits == 0 {
+		t.Error("no cache hits across identical streamed jobs")
+	}
+	if err := svc.Drain(t.Context()); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}

@@ -18,13 +18,18 @@
 //
 // Analyses are configured with functional options (WithCache, WithStrategy,
 // WithDepths, ...) on top of the paper's defaults; AnalyzeBatch fans many
-// (program, options) jobs out across CPUs with per-job error isolation. The
-// struct-based Config API (Compile, CompileWith, Analyze) remains as thin
-// deprecated wrappers.
+// (program, options) jobs out across CPUs with per-job error isolation, and
+// Service is the long-lived variant behind cmd/specserve: a shared worker
+// pool with a two-tier content-addressed cache (compiled programs and full
+// reports). Config remains as the plain-struct view of the same knobs —
+// Config.Options converts it back to the option form, which is how
+// configurations received over the wire (specabsint/wire) reconstruct the
+// analysis.
 package specabsint
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"specabsint/internal/cache"
@@ -177,6 +182,43 @@ func (c Config) coreOptions() core.Options {
 	return o
 }
 
+// Leak describes one detected cache timing side channel: a secret-indexed
+// memory access whose cache behaviour — and therefore latency — can vary
+// with the secret. The zero Class (Unknown) is what makes the timing
+// observable; Leaks never carry a constant-time verdict.
+type Leak struct {
+	// Line is the access's source line.
+	Line int
+	// Symbol is the accessed variable.
+	Symbol string
+	// Store reports whether the access is a write.
+	Store bool
+	// Class is the (non-constant) hit/miss verdict that makes the timing
+	// observable.
+	Class Classification
+}
+
+// String renders the leak for reports.
+func (l Leak) String() string {
+	kind := "load"
+	if l.Store {
+		kind = "store"
+	}
+	if l.Class == Unknown {
+		return fmt.Sprintf("line %d: secret-indexed %s of %s may hit or miss (%s)",
+			l.Line, kind, l.Symbol, l.Class)
+	}
+	return fmt.Sprintf("line %d: secret-dependent %s of %s installs a secret-selected cache line (%s)",
+		l.Line, kind, l.Symbol, l.Class)
+}
+
+// SpectreGadget is a Spectre-v1 style transmission gadget: an access on a
+// speculative path whose address may carry a value read out of bounds past a
+// mis-speculated bounds check. It shares Leak's shape and rendering; the two
+// are reported in separate lists because gadgets are this reproduction's
+// extension beyond the paper's timing-channel model.
+type SpectreGadget = Leak
+
 // AccessReport describes one memory access in the analyzed program.
 type AccessReport struct {
 	Line  int
@@ -207,14 +249,14 @@ type Report struct {
 	// WCET summarizes the timing estimate.
 	WCET WCETEstimate
 	// Leaks lists detected cache side channels (secret-indexed accesses
-	// with non-constant timing).
-	Leaks []string
+	// with non-constant timing), in source order.
+	Leaks []Leak
 	// LeakDetected is true when Leaks is non-empty.
 	LeakDetected bool
 	// SpectreGadgets lists Spectre-v1 style transmission gadgets: accesses
 	// on speculative paths whose address may carry a value read out of
 	// bounds past a mis-speculated bounds check.
-	SpectreGadgets []string
+	SpectreGadgets []SpectreGadget
 	// Stats is the observability snapshot, populated only when the analysis
 	// ran with WithStats(true) (nil otherwise). Everything except
 	// Stats.Phases[].Nanos is deterministic.
@@ -226,20 +268,6 @@ type Report struct {
 // satisfy errors.As for *ParseError, with the source position preserved.
 func CompileOpts(src string, opts ...Option) (*CompiledProgram, error) {
 	return compileConfig(src, newConfig(opts))
-}
-
-// Compile parses and lowers MiniC source with the default configuration.
-//
-// Deprecated: use CompileOpts.
-func Compile(src string) (*CompiledProgram, error) {
-	return CompileOpts(src)
-}
-
-// CompileWith parses and lowers MiniC source with an explicit Config.
-//
-// Deprecated: use CompileOpts with functional options.
-func CompileWith(src string, cfg Config) (*CompiledProgram, error) {
-	return compileConfig(src, cfg)
 }
 
 func compileConfig(src string, cfg Config) (*CompiledProgram, error) {
@@ -297,13 +325,6 @@ func AnalyzeContext(ctx context.Context, p *CompiledProgram, opts ...Option) (*R
 	return analyzeConfig(ctx, p, newConfig(opts))
 }
 
-// Analyze runs the analysis with an explicit Config and no cancellation.
-//
-// Deprecated: use AnalyzeContext with functional options.
-func Analyze(p *CompiledProgram, cfg Config) (*Report, error) {
-	return analyzeConfig(context.Background(), p, cfg)
-}
-
 func analyzeConfig(ctx context.Context, p *CompiledProgram, cfg Config) (*Report, error) {
 	copts := cfg.coreOptions()
 	var col *obs.Collector
@@ -345,10 +366,10 @@ func buildReport(prog *ir.Program, rep *sidechannel.Report) *Report {
 		LeakDetected: rep.LeakDetected(),
 	}
 	for _, l := range rep.Leaks {
-		out.Leaks = append(out.Leaks, l.String())
+		out.Leaks = append(out.Leaks, Leak{Line: l.Line, Symbol: l.Sym, Store: l.Store, Class: l.Class})
 	}
 	for _, l := range rep.SpectreLeaks {
-		out.SpectreGadgets = append(out.SpectreGadgets, l.String())
+		out.SpectreGadgets = append(out.SpectreGadgets, SpectreGadget{Line: l.Line, Symbol: l.Sym, Store: l.Store, Class: l.Class})
 	}
 	ids := make([]int, 0, len(res.Access))
 	for id := range res.Access {

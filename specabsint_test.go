@@ -26,7 +26,7 @@ func tightConfig() Config {
 }
 
 func TestCompileError(t *testing.T) {
-	if _, err := Compile("int main() { return oops; }"); err == nil {
+	if _, err := CompileOpts("int main() { return oops; }"); err == nil {
 		t.Fatal("expected a compile error")
 	} else if !strings.Contains(err.Error(), "oops") {
 		t.Errorf("unhelpful error: %v", err)
@@ -34,17 +34,15 @@ func TestCompileError(t *testing.T) {
 }
 
 func TestAnalyzeSpeculativeVsBaseline(t *testing.T) {
-	prog, err := Compile(apiProgram)
+	prog, err := CompileOpts(apiProgram)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := tightConfig()
-	spec, err := Analyze(prog, cfg)
+	spec, err := AnalyzeContext(t.Context(), prog, tightConfig().Options()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Speculative = false
-	base, err := Analyze(prog, cfg)
+	base, err := AnalyzeContext(t.Context(), prog, append(tightConfig().Options(), WithSpeculation(false))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +64,11 @@ func TestAnalyzeSpeculativeVsBaseline(t *testing.T) {
 }
 
 func TestReportAccessesSorted(t *testing.T) {
-	prog, err := Compile(apiProgram)
+	prog, err := CompileOpts(apiProgram)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Analyze(prog, tightConfig())
+	rep, err := AnalyzeContext(t.Context(), prog, tightConfig().Options()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +90,7 @@ func TestReportAccessesSorted(t *testing.T) {
 }
 
 func TestSimulateMatchesAnalysisDirection(t *testing.T) {
-	prog, err := Compile(apiProgram)
+	prog, err := CompileOpts(apiProgram)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +120,7 @@ func TestSimulateMatchesAnalysisDirection(t *testing.T) {
 }
 
 func TestIRListing(t *testing.T) {
-	prog, err := Compile("int x; int main() { return x; }")
+	prog, err := CompileOpts("int x; int main() { return x; }")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,140 @@
+package wire
+
+import "specabsint/internal/obs"
+
+// This file freezes the specserve v1 HTTP message shapes. Endpoints and
+// their envelopes are documented in docs/API.md; every body below carries
+// the `"v": 1` version field and obeys the package's canonical-encoding
+// rules.
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// V is the contract version; 0 (absent) is accepted as 1 on requests so
+	// hand-written curl bodies stay short.
+	V int `json:"v,omitempty"`
+	// Name labels the request in logs and the response. Optional.
+	Name string `json:"name,omitempty"`
+	// Source is the MiniC program to analyze.
+	Source string `json:"source"`
+	// Options overrides the paper's default analysis configuration; absent
+	// fields keep their defaults.
+	Options *Options `json:"options,omitempty"`
+}
+
+// AnalyzeResponse is the success body of POST /v1/analyze.
+type AnalyzeResponse struct {
+	V    int    `json:"v"`
+	Name string `json:"name,omitempty"`
+	// CacheHit reports the result was served from the report cache: no
+	// fixpoint ran for this request.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// ElapsedNanos is the server-side wall clock for the request's job.
+	ElapsedNanos int64 `json:"elapsed_nanos,omitempty"`
+	// Report is the completed analysis.
+	Report *Report `json:"report"`
+}
+
+// BatchRequest is the body of POST /v1/batch and /v1/batch/stream.
+type BatchRequest struct {
+	V int `json:"v,omitempty"`
+	// Options are batch-level defaults applied to every job; per-job
+	// options override them field by field.
+	Options *Options `json:"options,omitempty"`
+	// Jobs are analyzed concurrently on the server's worker pool.
+	Jobs []BatchJob `json:"jobs"`
+}
+
+// BatchJob is one entry of a batch request.
+type BatchJob struct {
+	Name    string   `json:"name,omitempty"`
+	Source  string   `json:"source"`
+	Options *Options `json:"options,omitempty"`
+}
+
+// BatchItem is one completed batch job: an element of BatchResponse.Results,
+// and — on /v1/batch/stream — one NDJSON line, emitted in completion order.
+// Exactly one of Report and Error is set.
+type BatchItem struct {
+	V int `json:"v"`
+	// Index is the job's position in the submitted slice.
+	Index        int     `json:"index"`
+	Name         string  `json:"name,omitempty"`
+	CacheHit     bool    `json:"cache_hit,omitempty"`
+	ElapsedNanos int64   `json:"elapsed_nanos,omitempty"`
+	Report       *Report `json:"report,omitempty"`
+	Error        *Error  `json:"error,omitempty"`
+}
+
+// BatchResponse is the success body of POST /v1/batch, with results in job
+// order.
+type BatchResponse struct {
+	V       int         `json:"v"`
+	Results []BatchItem `json:"results"`
+}
+
+// Error codes. Frozen: clients switch on these, not on messages.
+const (
+	CodeBadRequest   = "bad_request"   // malformed body or options (HTTP 400)
+	CodeCompileError = "compile_error" // MiniC front-end rejection (HTTP 422)
+	CodeTimeout      = "timeout"       // per-request deadline exceeded (HTTP 504)
+	CodeCanceled     = "canceled"      // client went away mid-analysis (HTTP 499 convention)
+	CodeOverloaded   = "overloaded"    // admission queue full, retry later (HTTP 429)
+	CodeDraining     = "draining"      // server is shutting down (HTTP 503)
+	CodeInternal     = "internal"      // everything else (HTTP 500)
+)
+
+// Error is the structured failure carried by ErrorResponse and BatchItem.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+	// Line / Col locate compile errors in the submitted source (1-based;
+	// 0 when not applicable).
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
+}
+
+// Error implements the error interface so decoded failures propagate
+// naturally in client code (specload).
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// ErrorResponse is the body of every non-2xx specserve response.
+type ErrorResponse struct {
+	V     int    `json:"v"`
+	Error *Error `json:"error"`
+}
+
+// Metrics is the body of GET /v1/metrics: the service-level counters next
+// to the worker pool's two-tier cache snapshot (obs.PoolSnapshot, the same
+// document the pool publishes on /debug/vars).
+type Metrics struct {
+	V      int              `json:"v"`
+	Server ServerMetrics    `json:"server"`
+	Pool   obs.PoolSnapshot `json:"pool"`
+}
+
+// ServerMetrics are the HTTP-layer gauges.
+type ServerMetrics struct {
+	// UptimeNanos is time since the server started.
+	UptimeNanos int64 `json:"uptime_nanos"`
+	// Requests counts accepted analysis requests (single-shot jobs and
+	// batch jobs both count individually); Rejected those turned away by
+	// admission control (429); Errors those that completed with a failure.
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected"`
+	Errors   int64 `json:"errors"`
+	// InFlight is the number of jobs currently admitted and not finished.
+	InFlight int64 `json:"in_flight"`
+	// QueueBound is the admission queue's capacity.
+	QueueBound int `json:"queue_bound"`
+	// Draining is true once shutdown has begun.
+	Draining bool `json:"draining"`
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	V  int    `json:"v"`
+	OK bool   `json:"ok"`
+	St string `json:"state"` // "serving" or "draining"
+}

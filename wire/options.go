@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"fmt"
+
+	"specabsint"
+)
+
+// Options is the wire form of an analysis configuration. Every field is
+// optional: absent fields keep the paper's defaults (specabsint
+// DefaultConfig), so a request body `{}` — or no options object at all —
+// runs the canonical analysis. A fully-populated Options round-trips a
+// Config exactly: FromConfig(cfg).Config() == cfg.
+type Options struct {
+	// Cache is the modeled data-cache geometry.
+	Cache *CacheGeometry `json:"cache,omitempty"`
+	// Speculative toggles the speculation-aware analysis; false runs the
+	// classic baseline.
+	Speculative *bool `json:"speculative,omitempty"`
+	// DepthMiss / DepthHit bound the speculation window in instructions
+	// (the paper's b_m / b_h).
+	DepthMiss *int `json:"depth_miss,omitempty"`
+	DepthHit  *int `json:"depth_hit,omitempty"`
+	// DynamicDepthBounding toggles the §6.2 optimization.
+	DynamicDepthBounding *bool `json:"dynamic_depth_bounding,omitempty"`
+	// Strategy selects the merge strategy: "jit", "rollback" or "partition"
+	// (the same names specanalyze -strategy accepts).
+	Strategy *string `json:"strategy,omitempty"`
+	// RefinedJoin toggles the Appendix-B shadow-variable refinement.
+	RefinedJoin *bool `json:"refined_join,omitempty"`
+	// MaxUnroll caps full unrolling of constant-trip loops at lowering time.
+	MaxUnroll *int `json:"max_unroll,omitempty"`
+	// Passes toggles the analysis-preserving pass pipeline after lowering.
+	Passes *bool `json:"passes,omitempty"`
+	// SetParallelism fans the per-cache-set fixpoints across goroutines
+	// (0 = single dense fixpoint). Results are identical at every value.
+	SetParallelism *int `json:"set_parallelism,omitempty"`
+	// Stats requests the observability snapshot in the response report.
+	Stats *bool `json:"stats,omitempty"`
+}
+
+// CacheGeometry is the wire form of specabsint.CacheConfig.
+type CacheGeometry struct {
+	LineSize int `json:"line_size"`
+	NumSets  int `json:"num_sets"`
+	Assoc    int `json:"assoc"`
+}
+
+// Strategy wire names.
+const (
+	StrategyJIT       = "jit"
+	StrategyRollback  = "rollback"
+	StrategyPartition = "partition"
+)
+
+// strategyString renders a merge strategy into its frozen wire name.
+func strategyString(s specabsint.Strategy) (string, error) {
+	switch s {
+	case specabsint.JustInTime:
+		return StrategyJIT, nil
+	case specabsint.MergeAtRollback:
+		return StrategyRollback, nil
+	case specabsint.PerRollbackBlock:
+		return StrategyPartition, nil
+	}
+	return "", fmt.Errorf("wire: unknown merge strategy %v", s)
+}
+
+// strategyFromString is the inverse of strategyString.
+func strategyFromString(s string) (specabsint.Strategy, error) {
+	switch s {
+	case StrategyJIT:
+		return specabsint.JustInTime, nil
+	case StrategyRollback:
+		return specabsint.MergeAtRollback, nil
+	case StrategyPartition:
+		return specabsint.PerRollbackBlock, nil
+	}
+	return specabsint.JustInTime, fmt.Errorf("wire: unknown merge strategy %q (want %s, %s or %s)",
+		s, StrategyJIT, StrategyRollback, StrategyPartition)
+}
+
+// FromConfig renders a Config with every field populated, so the document
+// reconstructs the configuration exactly regardless of the receiver's
+// defaults.
+func FromConfig(cfg specabsint.Config) (*Options, error) {
+	strat, err := strategyString(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Options{
+		Cache: &CacheGeometry{
+			LineSize: cfg.Cache.LineSize,
+			NumSets:  cfg.Cache.NumSets,
+			Assoc:    cfg.Cache.Assoc,
+		},
+		Speculative:          ptr(cfg.Speculative),
+		DepthMiss:            ptr(cfg.DepthMiss),
+		DepthHit:             ptr(cfg.DepthHit),
+		DynamicDepthBounding: ptr(cfg.DynamicDepthBounding),
+		Strategy:             ptr(strat),
+		RefinedJoin:          ptr(cfg.RefinedJoin),
+		MaxUnroll:            ptr(cfg.MaxUnroll),
+		Passes:               ptr(cfg.Passes),
+		SetParallelism:       ptr(cfg.SetParallelism),
+		Stats:                ptr(cfg.Stats),
+	}, nil
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// Config resolves the document into a full configuration: the paper's
+// defaults overridden by every present field. A nil *Options is valid and
+// yields DefaultConfig. The returned Config converts to the option form
+// with Config.Options — the reconstruction path every service entry point
+// uses:
+//
+//	cfg, err := req.Options.Config()
+//	rep, err := svc.Analyze(ctx, src, cfg.Options()...)
+func (o *Options) Config() (specabsint.Config, error) {
+	cfg := specabsint.DefaultConfig()
+	if o == nil {
+		return cfg, nil
+	}
+	if o.Cache != nil {
+		cfg.Cache = specabsint.CacheConfig{
+			LineSize: o.Cache.LineSize,
+			NumSets:  o.Cache.NumSets,
+			Assoc:    o.Cache.Assoc,
+		}
+	}
+	if o.Speculative != nil {
+		cfg.Speculative = *o.Speculative
+	}
+	if o.DepthMiss != nil {
+		cfg.DepthMiss = *o.DepthMiss
+	}
+	if o.DepthHit != nil {
+		cfg.DepthHit = *o.DepthHit
+	}
+	if o.DynamicDepthBounding != nil {
+		cfg.DynamicDepthBounding = *o.DynamicDepthBounding
+	}
+	if o.Strategy != nil {
+		strat, err := strategyFromString(*o.Strategy)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Strategy = strat
+	}
+	if o.RefinedJoin != nil {
+		cfg.RefinedJoin = *o.RefinedJoin
+	}
+	if o.MaxUnroll != nil {
+		cfg.MaxUnroll = *o.MaxUnroll
+	}
+	if o.Passes != nil {
+		cfg.Passes = *o.Passes
+	}
+	if o.SetParallelism != nil {
+		cfg.SetParallelism = *o.SetParallelism
+	}
+	if o.Stats != nil {
+		cfg.Stats = *o.Stats
+	}
+	return cfg, nil
+}
