@@ -39,6 +39,7 @@ func main() {
 		nonspec    = flag.Bool("nonspec", false, "run the classic non-speculative analysis instead")
 		passesFlag = flag.String("passes", "on", "analysis-preserving pass pipeline (SCCP, copy propagation, branch resolution, DCE): on or off")
 		strategy   = flag.String("strategy", "jit", "merge strategy: jit, rollback, partition")
+		scheduler  = flag.String("scheduler", "wto", "fixpoint scheduler: wto or worklist (results are identical; effort differs)")
 		parallel   = flag.Int("parallel", 0, "cache-set fixpoint parallelism (0 = single dense fixpoint)")
 		timeout    = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
 		sim        = flag.Bool("sim", false, "also run the concrete speculative simulator")
@@ -92,6 +93,15 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
+	var sched specabsint.Scheduler
+	switch *scheduler {
+	case "wto":
+		sched = specabsint.WTO
+	case "worklist":
+		sched = specabsint.Worklist
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
 	var runPasses bool
 	switch *passesFlag {
 	case "on":
@@ -106,6 +116,7 @@ func main() {
 		specabsint.WithDepths(*bm, *bh),
 		specabsint.WithSpeculation(!*nonspec),
 		specabsint.WithStrategy(strat),
+		specabsint.WithScheduler(sched),
 		specabsint.WithSetParallelism(*parallel),
 		specabsint.WithPasses(runPasses),
 		specabsint.WithStats(*statsMode != ""),
@@ -163,8 +174,8 @@ func main() {
 	if *nonspec {
 		mode = "non-speculative"
 	}
-	fmt.Printf("analysis: %s, cache %v, b_m=%d b_h=%d, strategy %v\n",
-		mode, cfg.Cache, cfg.DepthMiss, cfg.DepthHit, cfg.Strategy)
+	fmt.Printf("analysis: %s, cache %v, b_m=%d b_h=%d, strategy %v, scheduler %v\n",
+		mode, cfg.Cache, cfg.DepthMiss, cfg.DepthHit, cfg.Strategy, cfg.Scheduler)
 	fmt.Printf("accesses: %d   misses (#Miss): %d   wrong-path misses (#SpMiss): %d\n",
 		len(rep.Accesses), rep.Misses, rep.SpecMisses)
 	fmt.Printf("branches: %d   fixpoint iterations: %d\n", rep.Branches, rep.Iterations)

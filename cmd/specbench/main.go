@@ -29,6 +29,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"specabsint/internal/core"
 	"specabsint/internal/experiments"
 	"specabsint/internal/runner"
 )
@@ -40,6 +41,9 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_fixpoint.json", "output path of the fixpoint benchmark report")
 	benchRounds := flag.Int("benchrounds", 0, "fixpoint benchmark rounds (0 = default)")
 	minSpeedup := flag.Float64("minspeedup", 0, "fail the fixpoint experiment if the pass-pipeline speedup falls below this (0 = don't assert)")
+	scheduler := flag.String("scheduler", "wto", "fixpoint scheduler for the headline measurements: wto or worklist")
+	schedCompare := flag.Bool("schedcompare", true, "measure the scheduler-comparison section (legacy/worklist/wto over the branch-heavy slice)")
+	minWTOSpeedup := flag.Float64("minwtospeedup", 0, "fail the fixpoint experiment if jcmarker's WTO-vs-worklist speedup falls below this, or if any slice kernel's scheduler arms disagree (0 = don't assert)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -93,7 +97,19 @@ func main() {
 	run("icache", func() error { return icache(ctx, setup) })
 	run("geometry", func() error { return geometry(ctx, setup) })
 	if *which == "fixpoint" {
-		run("fixpoint", func() error { return fixpoint(*benchRounds, *benchOut, *minSpeedup) })
+		var sched core.Scheduler
+		switch *scheduler {
+		case "wto":
+			sched = core.SchedulerWTO
+		case "worklist":
+			sched = core.SchedulerWorklist
+		default:
+			fmt.Fprintf(os.Stderr, "specbench: unknown -scheduler %q (want wto or worklist)\n", *scheduler)
+			os.Exit(2)
+		}
+		run("fixpoint", func() error {
+			return fixpoint(*benchRounds, *benchOut, *minSpeedup, *minWTOSpeedup, sched, *schedCompare)
+		})
 	}
 }
 
@@ -137,12 +153,13 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func fixpoint(rounds int, outPath string, minSpeedup float64) error {
-	rep, err := experiments.FixpointBench(rounds)
+func fixpoint(rounds int, outPath string, minSpeedup, minWTOSpeedup float64, sched core.Scheduler, schedCompare bool) error {
+	rep, err := experiments.FixpointBench(rounds, sched, schedCompare)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Fixpoint benchmark — %s, paper options, %d rounds\n", rep.Kernel, rep.Rounds)
+	fmt.Printf("Fixpoint benchmark — %s, paper options, %d rounds, %s scheduler\n",
+		rep.Kernel, rep.Rounds, rep.Meta.Scheduler)
 	fmt.Printf("  now:         %8.1f ms/op  %9d allocs/op  %d states pooled/op\n",
 		float64(rep.Now.NsPerOp)/1e6, rep.Now.AllocsPerOp, rep.StatesPooledPerOp)
 	fmt.Printf("  baseline:    %8.1f ms/op  %9d allocs/op  (seed engine)\n",
@@ -158,10 +175,35 @@ func fixpoint(rounds int, outPath string, minSpeedup float64) error {
 		fmt.Printf("    off: %8.1f ms/op   on: %8.1f ms/op   speedup: %.2fx\n",
 			float64(d.Off.NsPerOp)/1e6, float64(d.On.NsPerOp)/1e6, d.Speedup)
 	}
+	if s := rep.Schedulers; s != nil {
+		fmt.Println("  schedulers (legacy = seed-equivalent worklist, uncertainty focusing off):")
+		for _, r := range s.Kernels {
+			fmt.Printf("    %-9s %2d comps  legacy %8.1f  worklist %8.1f  wto %8.1f ms/op  %.2fx vs legacy  %.2fx vs worklist  identical=%v\n",
+				r.Kernel, r.WTOComponents,
+				float64(r.Legacy.NsPerOp)/1e6, float64(r.Worklist.NsPerOp)/1e6,
+				float64(r.WTO.NsPerOp)/1e6, r.SpeedupVsLegacy, r.SpeedupVsWorklist, r.Identical)
+		}
+		fmt.Printf("    geomean: %.2fx vs legacy, %.2fx vs worklist\n",
+			s.GeomeanSpeedup, s.GeomeanVsWorklist)
+	}
 	if err := rep.WriteJSON(outPath); err != nil {
 		return err
 	}
 	fmt.Printf("  wrote %s\n", outPath)
+	if minWTOSpeedup > 0 {
+		if rep.Schedulers == nil {
+			return fmt.Errorf("-minwtospeedup needs the scheduler comparison (-schedcompare)")
+		}
+		for _, r := range rep.Schedulers.Kernels {
+			if !r.Identical {
+				return fmt.Errorf("scheduler arms disagree on %s — equivalence bug, not noise", r.Kernel)
+			}
+			if r.Kernel == "jcmarker" && r.SpeedupVsWorklist < minWTOSpeedup {
+				return fmt.Errorf("WTO speedup %.2fx on %s below required %.2fx — wall-clock regression",
+					r.SpeedupVsWorklist, r.Kernel, minWTOSpeedup)
+			}
+		}
+	}
 	if minSpeedup > 0 {
 		if rep.PassesSpeedup < minSpeedup {
 			return fmt.Errorf("pass-pipeline speedup %.2fx on %s below required %.2fx — wall-clock regression",

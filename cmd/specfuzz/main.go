@@ -2,8 +2,9 @@
 // MiniC programs (internal/gen), checks every oracle property on each
 // (internal/oracle) — must-hit/must-miss soundness against the concrete
 // speculative simulator, leak-detection completeness, the metamorphic window
-// and unroll relations, and parallel equivalence — and shrinks any failing
-// program to a minimal reproducer.
+// and unroll relations, parallel equivalence, and (with -scheduler=both) the
+// worklist-vs-WTO scheduler cross-check — and shrinks any failing program to
+// a minimal reproducer.
 //
 // Usage:
 //
@@ -41,6 +42,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "analysis pool workers (0 = GOMAXPROCS)")
 		corpus   = flag.String("corpus", "", "write shrunk reproducers to this directory")
 		quick    = flag.Bool("quick", false, "use the cut-down oracle sweep (fewer configurations)")
+		sched    = flag.String("scheduler", "default", "scheduler sweep: default (WTO only) or both (cross-check worklist vs WTO)")
 		verbose  = flag.Bool("v", false, "log every program checked")
 	)
 	flag.Parse()
@@ -53,6 +55,14 @@ func main() {
 	cfg := oracle.Default()
 	if *quick {
 		cfg = oracle.Quick()
+	}
+	switch *sched {
+	case "default":
+	case "both":
+		cfg.CheckSchedulers = true
+	default:
+		fmt.Fprintf(os.Stderr, "specfuzz: unknown -scheduler %q (want default or both)\n", *sched)
+		os.Exit(2)
 	}
 	cfg.Pool = runner.New(*workers)
 

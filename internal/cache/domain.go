@@ -449,6 +449,42 @@ func (d *Domain) Widen(prev, next *State) *State {
 	return out
 }
 
+// Saturate clamps x, in place, against a fixed reference state: any must age
+// strictly above the reference's jumps to evicted, and any shadow age
+// strictly below the reference's (or present where the reference has none)
+// jumps to 1. Unlike Widen — whose prev is the evolving previous iterate —
+// the reference here never changes, which makes Saturate a *monotone*
+// function of x: each dimension either passes through unchanged or maps to
+// the join-absorbing extreme, and the threshold it is compared against is
+// constant. Applying it to every loop-head contribution therefore keeps the
+// enclosing fixpoint a monotone system with a unique, visit-order-independent
+// least solution. (Widen's extra rule "shadow disappeared → 1" is deliberately
+// absent: it maps the dimension's bottom above values it is ordered below,
+// which is exactly the non-monotonicity this transform exists to avoid.)
+// The result over-approximates x, so saturation preserves soundness.
+func (d *Domain) Saturate(ref, x *State) {
+	if ref.IsBottom || x.IsBottom {
+		return
+	}
+	d.spans(func(start, stride int) bool {
+		for i := start; i < len(x.must); i += stride {
+			xm, rm := x.must[i], ref.must[i]
+			if d.Persist {
+				if xm > rm {
+					x.must[i] = persistTop
+				}
+			} else if xm != 0 && (rm == 0 || xm > rm) {
+				x.must[i] = 0
+			}
+			xs, rs := x.shadow[i], ref.shadow[i]
+			if xs != 0 && (rs == 0 || xs < rs) {
+				x.shadow[i] = 1
+			}
+		}
+		return true
+	})
+}
+
 // Classify judges one access against the state: it is an AlwaysHit when all
 // candidate blocks are must-cached, an AlwaysMiss when none may be cached,
 // and Unknown otherwise.

@@ -64,6 +64,38 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
+// Scheduler selects the fixpoint iteration order. Both schedulers compute
+// the same fixpoint — classifications are byte-identical — and each is
+// individually deterministic; they differ in how many block re-iterations
+// convergence takes.
+type Scheduler int
+
+// Schedulers.
+const (
+	// SchedulerWTO (the default) iterates in Bourdoncle's hierarchical weak
+	// topological order: inner loop components are stabilized, with widening
+	// at their heads, before the enclosing component re-iterates. On nested
+	// loops this avoids the re-iteration churn a flat priority worklist pays
+	// every time an outer change re-dirties an inner loop.
+	SchedulerWTO Scheduler = iota
+	// SchedulerWorklist is the classic reverse-postorder priority worklist
+	// (the engine's original schedule), kept as an escape hatch and as the
+	// reference arm of the scheduler-equivalence test harness.
+	SchedulerWorklist
+)
+
+// String names the scheduler (the same names specanalyze -scheduler and the
+// wire options accept).
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerWTO:
+		return "wto"
+	case SchedulerWorklist:
+		return "worklist"
+	}
+	return fmt.Sprintf("scheduler(%d)", int(s))
+}
+
 // Options configures the analysis.
 type Options struct {
 	// Cache is the modeled cache geometry.
@@ -87,6 +119,15 @@ type Options struct {
 	// WideningThreshold is the number of in-state changes at a block before
 	// widening; 0 disables widening (§6.3).
 	WideningThreshold int
+	// Scheduler selects the fixpoint iteration order; the zero value is the
+	// WTO schedule. Classifications are identical under either scheduler.
+	Scheduler Scheduler
+	// DisableUncertainty turns off uncertainty-focused speculation — the
+	// classic must/may warm-start pre-pass and the certain-branch lane-spawn
+	// skip — reverting to eager lane spawning. An ablation/benchmark knob
+	// (the baseline arm of the scheduler experiment); not exposed through
+	// the public configuration surface.
+	DisableUncertainty bool
 	// SetParallelism >= 1 partitions the block universe into independent
 	// cache-set groups and runs one fixpoint per group, fanning the groups
 	// across up to SetParallelism goroutines (1 = partitioned but serial).
@@ -104,7 +145,8 @@ type Options struct {
 
 // DefaultOptions mirrors the paper's experimental setup: 512-line 64-byte
 // fully-associative LRU cache, speculation depths 20 (hit) / 200 (miss),
-// just-in-time merging, refined join, dynamic depth bounding on.
+// just-in-time merging, refined join, dynamic depth bounding on, WTO
+// scheduling with uncertainty-focused speculation.
 func DefaultOptions() Options {
 	return Options{
 		Cache:                layout.PaperConfig(),
@@ -115,6 +157,7 @@ func DefaultOptions() Options {
 		Strategy:             StrategyJustInTime,
 		RefinedJoin:          true,
 		WideningThreshold:    4,
+		Scheduler:            SchedulerWTO,
 	}
 }
 

@@ -159,6 +159,77 @@ type engine struct {
 	heap    blockHeap
 	inWork  []bool
 	changes []int // per-block S-change counts, for widening
+	// wto is the Bourdoncle ordering of the effective CFG, non-nil iff the
+	// engine runs under SchedulerWTO. Enqueued blocks are then tracked as
+	// pending counts per enclosing component (wtoPending, plus the global
+	// wtoLive) instead of heap entries: the recursive sweep re-iterates a
+	// component exactly while it has pending members, stabilizing inner
+	// components before re-entering outer ones.
+	wto        *cfg.WTO
+	wtoPending []int
+	wtoLive    int
+	// Dirty-element min-heaps, one per WTO nesting level (index c+1 for
+	// component c, index 0 for the top-level sequence), holding the indices
+	// of that level's dirty elements. Speculation makes information flow
+	// backward through non-CFG channels — a lane rollback joins SS at the
+	// branch's other successor, behind the lane's current block, and an SS
+	// flow reaching its vn_stop re-joins the normal state of that same
+	// block — so a plain front-to-back sweep would re-propagate
+	// intermediate states through the whole downstream tail once per
+	// backward event. The heaps let each sweep always process the earliest
+	// dirty element of its level next, draining upstream re-dirt before any
+	// downstream block is (re)visited — the same upstream-first discipline
+	// the RPO priority heap provides, applied per nesting level (on an
+	// acyclic CFG the single top-level heap degenerates to exactly that).
+	// Entries are lazily deleted: an element may be stale by the time it is
+	// popped (block no longer in-work, component no longer pending) and is
+	// then skipped.
+	wtoDirty [][]int
+	// wtoBlockIdx[b] is b's element index within its immediate level (body
+	// of CompOf[b], or the top-level sequence); for component heads see
+	// wtoHeadComp/wtoCompIdx instead, since heads are not body elements.
+	wtoBlockIdx []int
+	// wtoCompIdx[c] is component c's element index within its parent level.
+	wtoCompIdx []int
+	// wtoHeadComp[b] is the component headed by b, or -1.
+	wtoHeadComp []int
+	// lanesOff suppresses lane spawning during the uncertainty pre-pass:
+	// the engine first converges the cheap classic must/may analysis
+	// (normal flow only), then re-seeds every unresolved branch so lanes
+	// spawn once, from near-final states, instead of being re-spawned and
+	// re-propagated on every early state change.
+	lanesOff bool
+	// widenOK permits the classic count-triggered widening at loop headers
+	// (the canonical phase-1 solve and the legacy single-pass path). That
+	// widening fires on per-block change counts, which depend on iteration
+	// order — which is why phase 1 is pinned to one canonical schedule.
+	//
+	// satWiden replaces it in phase 2: every loop-head contribution is
+	// first Saturate'd against satRef — a frozen snapshot of the block's
+	// phase-1 state — before being joined. Any dimension a contribution
+	// pushes past its classic value jumps straight to the join-absorbing
+	// extreme (must age to evicted, shadow age to 1). Because the reference
+	// is constant, the saturation is a monotone transform, so the phase-2
+	// system stays monotone and its least fixpoint is identical under any
+	// fair visit order — widening never re-introduces schedule dependence.
+	// (Widening against the *evolving* previous iterate would: for states
+	// seeded at bottom, such as the per-color lanes and per-pid SS flows,
+	// whichever contribution lands first would become the reference.)
+	// Semantically this is the paper's §6.3 amplification: speculative
+	// pollution reaching a loop head is widened to its absorbing worst
+	// immediately instead of creeping one age step per fixpoint round.
+	widenOK  bool
+	satWiden bool
+	satRef   []*cache.State
+	// laneNeed[b] is the minimum entry budget with which a wrong-path lane
+	// entering block b can still transfer at least one memory access
+	// (structural: from instruction counts and access positions along
+	// effective successors). Spawns with depth < laneNeed[specSucc] are
+	// provably invisible — the lane would expire before touching memory,
+	// contributing no SpecAccess verdict and no rollback — and are skipped
+	// (counted as LanesSkippedCertain). nil when uncertainty focusing is
+	// disabled.
+	laneNeed []int
 	// loopHeader marks natural-loop headers: widening applies only there
 	// (§6.3 targets loops; widening ordinary merge blocks would discard
 	// precision that plain joins preserve).
@@ -267,7 +338,65 @@ func newEngineShared(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *inte
 			}
 		}
 	}
+	if e.uncertainty() {
+		e.laneNeed = laneNeedBudgets(prog, e.succs, accessSpec)
+	}
 	return e
+}
+
+// uncertainty reports whether the engine runs the uncertainty-focused
+// speculation machinery: the classic warm-start pre-pass plus the
+// certain-branch spawn skip. It is on for every speculative analysis with at
+// least one unresolved branch unless the ablation knob disables it.
+func (e *engine) uncertainty() bool {
+	return e.opts.Speculative && !e.opts.DisableUncertainty && len(e.colors) > 0
+}
+
+// laneNeedInf is the laneNeed value for blocks from which no wrong-path
+// memory access is reachable at any budget (half of MaxInt so adding a block
+// length cannot overflow).
+const laneNeedInf = int(^uint(0)>>1) / 2
+
+// laneNeedBudgets solves the min-fixpoint
+//
+//	need[b] = min(firstAccess(b)+1, len(b.Instrs) + min over succs s of need[s])
+//
+// mirroring laneWalk's budget semantics exactly: a lane entering b with
+// budget B transfers the access at instruction index i iff B >= i+1, and
+// continues into a successor with budget B-len(b.Instrs) iff that is
+// positive. need[b] is therefore the smallest entry budget at which a lane
+// entering b can reach any wrong-path memory access. The recurrence is
+// monotone decreasing from laneNeedInf, so round-robin iteration converges.
+func laneNeedBudgets(prog *ir.Program, succs [][]ir.BlockID, accessSpec map[int]cache.Access) []int {
+	n := len(prog.Blocks)
+	need := make([]int, n)
+	first := make([]int, n)
+	for _, b := range prog.Blocks {
+		need[b.ID] = laneNeedInf
+		first[b.ID] = laneNeedInf
+		for i := range b.Instrs {
+			if _, ok := accessSpec[b.Instrs[i].ID]; ok {
+				first[b.ID] = i + 1
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range prog.Blocks {
+			v := first[b.ID]
+			for _, s := range succs[b.ID] {
+				if c := len(b.Instrs) + need[s]; c < v {
+					v = c
+				}
+			}
+			if v < need[b.ID] {
+				need[b.ID] = v
+				changed = true
+			}
+		}
+	}
+	return need
 }
 
 // effectiveReachable marks blocks reachable from entry along effective
@@ -290,10 +419,28 @@ func effectiveReachable(prog *ir.Program, succs [][]ir.BlockID) []bool {
 }
 
 func (e *engine) enqueue(b ir.BlockID) {
-	if !e.inWork[b] {
-		heap.Push(&e.heap, b)
-		e.inWork[b] = true
+	if e.inWork[b] {
+		return
 	}
+	e.inWork[b] = true
+	if e.wto != nil {
+		e.wtoLive++
+		// Queue b's element at its own level (component heads have no body
+		// element — they are re-stepped by their component's stabilization
+		// loop), then push each enclosing component's element at the level
+		// above when it transitions clean→pending.
+		if e.wtoHeadComp[b] < 0 {
+			intHeapPush(&e.wtoDirty[e.wto.CompOf[b]+1], e.wtoBlockIdx[b])
+		}
+		for c := e.wto.CompOf[b]; c >= 0; c = e.wto.Parent[c] {
+			e.wtoPending[c]++
+			if e.wtoPending[c] == 1 {
+				intHeapPush(&e.wtoDirty[e.wto.Parent[c]+1], e.wtoCompIdx[c])
+			}
+		}
+		return
+	}
+	heap.Push(&e.heap, b)
 }
 
 // ctxCheckInterval is how many worklist pops pass between context polls.
@@ -302,7 +449,89 @@ func (e *engine) enqueue(b ir.BlockID) {
 const ctxCheckInterval = 256
 
 func (e *engine) run(ctx context.Context) error {
+	singlePass := e.opts.DisableUncertainty
+	if !singlePass {
+		// The two-phase split below exists to canonicalize widening
+		// decisions. When widening cannot fire at all — no loop headers in
+		// the simplified CFG (the common case after full unrolling), or
+		// widening disabled — the whole system is a plain monotone
+		// iteration whose least fixpoint is schedule-independent by itself,
+		// and the split would only pay its phase-2 re-solve overhead for a
+		// canonicalization it does not need. Solve in one pass instead;
+		// uncertainty focusing (laneNeed pruning) still applies.
+		hasLoops := false
+		for _, lh := range e.loopHeader {
+			if lh {
+				hasLoops = true
+				break
+			}
+		}
+		singlePass = !hasLoops || e.opts.WideningThreshold <= 0
+	}
+	if singlePass {
+		// Single-pass solve under the configured scheduler. With
+		// DisableUncertainty this is the legacy ablation/benchmark baseline
+		// (seed-equivalent under SchedulerWorklist): widening triggers on
+		// per-block change counts and schedulers batch changes differently,
+		// so around widening its results are scheduler-dependent — it is
+		// not a supported configuration, just the attribution arm.
+		if e.opts.Scheduler == SchedulerWTO {
+			e.initWTO()
+		}
+		e.widenOK = true
+		e.enqueue(e.prog.Entry)
+		return e.solver()(e, ctx)
+	}
+	// Phase 1 — canonical classic pass. Lane spawning is off: with no lanes
+	// there are no rollbacks and hence no SS flows, so this converges
+	// exactly the non-speculative must/may fixpoint. It always runs under
+	// the WTO schedule with widening enabled, whatever Options.Scheduler
+	// says: widening triggers on per-block change counts, which depend on
+	// iteration order, so pinning this phase to one canonical deterministic
+	// schedule is what makes every widening decision — and therefore the
+	// final classifications — identical across schedulers.
+	e.initWTO()
+	e.lanesOff = true
+	e.widenOK = true
 	e.enqueue(e.prog.Entry)
+	if err := e.solver()(e, ctx); err != nil {
+		return err
+	}
+	// Phase 2 — speculative completion under the configured scheduler.
+	// Every unresolved branch whose state is live is re-seeded, so lanes
+	// spawn once, from the converged classic states where the analysis is
+	// actually uncertain, instead of being re-spawned on every intermediate
+	// state change (uncertainty-focused speculation). Starting from the
+	// identical phase-1 states, the remaining system is a monotone
+	// iteration — joins, transfers, budget maxima, and the reference
+	// saturation described on satWiden — whose least fixpoint is
+	// schedule-independent: both schedulers land on byte-identical results
+	// and differ only in how much work they spend getting there.
+	e.lanesOff = false
+	e.widenOK = false
+	e.satWiden = true
+	if e.opts.WideningThreshold > 0 {
+		e.satRef = make([]*cache.State, len(e.S))
+		for i := range e.satRef {
+			if e.loopHeader[i] {
+				e.satRef[i] = e.S[i].Clone()
+			}
+		}
+	}
+	if e.opts.Scheduler != SchedulerWTO {
+		e.wto = nil // route enqueues back to the RPO heap
+	}
+	for _, b := range e.prog.Blocks {
+		if len(e.colorsAt[b.ID]) > 0 && !e.S[b.ID].IsBottom {
+			e.dirtyS[b.ID] = true
+			e.enqueue(b.ID)
+		}
+	}
+	return e.solver()(e, ctx)
+}
+
+// solveWorklist drains the RPO-ordered worklist heap (SchedulerWorklist).
+func (e *engine) solveWorklist(ctx context.Context) error {
 	for e.heap.Len() > 0 {
 		if e.iter%ctxCheckInterval == 0 {
 			select {
@@ -316,6 +545,162 @@ func (e *engine) run(ctx context.Context) error {
 		e.iter++
 		e.process(b)
 	}
+	return nil
+}
+
+// intHeapPush and intHeapPop maintain a plain min-heap of ints — the
+// per-level dirty-element queues, where container/heap's interface
+// indirection and per-push boxing would show up on the hot path.
+func intHeapPush(h *[]int, v int) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func intHeapPop(h *[]int) int {
+	s := *h
+	v := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	i := 0
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < n && s[l] < s[min] {
+			min = l
+		}
+		if r < n && s[r] < s[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return v
+}
+
+// initWTO computes the Bourdoncle ordering over the effective CFG, indexes
+// the element tree for enqueue's cursor bubbling, and switches enqueue to
+// component-pending accounting.
+func (e *engine) initWTO() {
+	n := len(e.prog.Blocks)
+	wto := cfg.WTOOf(n, e.prog.Entry, func(b ir.BlockID) []ir.BlockID {
+		return e.succs[b]
+	})
+	e.stats.WTOComponents = int64(wto.NumComponents)
+	if wto.NumComponents == 0 {
+		// Acyclic CFG (common after full unrolling): the weak topological
+		// order degenerates to plain reverse postorder, which the RPO
+		// priority heap already implements — identical visit order without
+		// the per-level sweep bookkeeping. Leave e.wto nil so enqueue and
+		// run route through the worklist machinery.
+		return
+	}
+	e.wto = wto
+	e.wtoPending = make([]int, e.wto.NumComponents)
+	e.wtoBlockIdx = make([]int, n)
+	e.wtoCompIdx = make([]int, e.wto.NumComponents)
+	e.wtoHeadComp = make([]int, n)
+	for i := range e.wtoHeadComp {
+		e.wtoHeadComp[i] = -1
+	}
+	e.wtoDirty = make([][]int, e.wto.NumComponents+1)
+	var index func(elems []cfg.WTOElem)
+	index = func(elems []cfg.WTOElem) {
+		for i, el := range elems {
+			if el.Comp != nil {
+				e.wtoCompIdx[el.Comp.Index] = i
+				e.wtoHeadComp[el.Comp.Head] = el.Comp.Index
+				index(el.Comp.Body)
+				continue
+			}
+			e.wtoBlockIdx[el.Block] = i
+		}
+	}
+	index(e.wto.Sequence)
+}
+
+// solver picks the drain routine matching the schedule initWTO (or a later
+// e.wto reset) left in place.
+func (e *engine) solver() func(*engine, context.Context) error {
+	if e.wto != nil {
+		return (*engine).solveWTO
+	}
+	return (*engine).solveWorklist
+}
+
+// solveWTO drains pending work in weak topological order. One sweep of the
+// top level suffices: any dirty block keeps its whole chain of enclosing
+// elements queued, so the top-level heap is non-empty whenever work remains.
+func (e *engine) solveWTO(ctx context.Context) error {
+	return e.sweepWTO(ctx, -1, e.wto.Sequence)
+}
+
+// sweepWTO processes the elements of one WTO nesting level (lvl -1 is the
+// top-level sequence, otherwise a component index whose body elems is)
+// until the level is clean, always taking the earliest dirty element next
+// (the level's min-heap): upstream re-dirt — a rollback injection or
+// vn_stop self-merge landing behind the sweep — is drained before any
+// downstream block is revisited, keeping the cost of speculation's backward
+// information flow proportional to the re-dirtied region instead of the
+// whole downstream tail. Component elements loop locally — head, then body,
+// recursively — until nothing inside them is pending, so inner loops fully
+// stabilize before the outer sequence moves on (Bourdoncle's recursive
+// iteration strategy).
+func (e *engine) sweepWTO(ctx context.Context, lvl int, elems []cfg.WTOElem) error {
+	h := &e.wtoDirty[lvl+1]
+	for len(*h) > 0 {
+		el := &elems[intHeapPop(h)]
+		if el.Comp == nil {
+			// Stale entries (block already stepped as part of an enclosing
+			// drain) are skipped by stepWTO's in-work check.
+			if err := e.stepWTO(ctx, el.Block); err != nil {
+				return err
+			}
+			continue
+		}
+		for e.wtoPending[el.Comp.Index] > 0 {
+			if err := e.stepWTO(ctx, el.Comp.Head); err != nil {
+				return err
+			}
+			if err := e.sweepWTO(ctx, el.Comp.Index, el.Comp.Body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stepWTO processes block b if it is pending, maintaining the component
+// pending counters that drive sweepWTO's local stabilization loops.
+func (e *engine) stepWTO(ctx context.Context, b ir.BlockID) error {
+	if !e.inWork[b] {
+		return nil
+	}
+	e.inWork[b] = false
+	e.wtoLive--
+	for c := e.wto.CompOf[b]; c >= 0; c = e.wto.Parent[c] {
+		e.wtoPending[c]--
+	}
+	if e.iter%ctxCheckInterval == 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	e.iter++
+	e.process(b)
 	return nil
 }
 
@@ -353,17 +738,37 @@ func (e *engine) transferBlock(b *ir.Block, st *cache.State) *cache.State {
 	return out
 }
 
+// saturate applies the phase-2 reference saturation to a loop-head
+// contribution (see satWiden): the returned state is pooled scratch the
+// caller must Put back when owned is true. Outside phase 2, or away from
+// loop heads, st is returned untouched.
+func (e *engine) saturate(target ir.BlockID, st *cache.State) (out *cache.State, owned bool) {
+	if !e.satWiden || e.satRef == nil || !e.loopHeader[target] {
+		return st, false
+	}
+	scratch := e.pool.Get()
+	scratch.CopyFrom(st)
+	e.dom.Saturate(e.satRef[target], scratch)
+	e.stats.Widenings++
+	return scratch, true
+}
+
 // joinS merges st into S[target], widening if the block keeps changing, and
 // re-enqueues the target on change.
 func (e *engine) joinS(target ir.BlockID, st *cache.State) {
 	e.stats.Joins++
-	widening := e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
+	st, owned := e.saturate(target, st)
+	widening := e.widenOK && e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
 		e.changes[target] >= e.opts.WideningThreshold
 	var prev *cache.State
 	if widening {
 		prev = e.S[target].Clone()
 	}
-	if !e.dom.JoinInto(e.S[target], st) {
+	changed := e.dom.JoinInto(e.S[target], st)
+	if owned {
+		e.pool.Put(st)
+	}
+	if !changed {
 		return
 	}
 	e.stats.JoinChanges++
@@ -387,13 +792,18 @@ func (e *engine) joinSS(target ir.BlockID, pid int, st *cache.State) {
 		cur = cache.Bottom()
 		e.SS[target][pid] = cur
 	}
-	widening := e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
+	st, owned := e.saturate(target, st)
+	widening := e.widenOK && e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
 		e.ssChanges[target][pid] >= e.opts.WideningThreshold
 	var prev *cache.State
 	if widening {
 		prev = cur.Clone()
 	}
-	if !e.dom.JoinInto(cur, st) {
+	changed := e.dom.JoinInto(cur, st)
+	if owned {
+		e.pool.Put(st)
+	}
+	if !changed {
 		return
 	}
 	if widening {
@@ -432,13 +842,17 @@ func (e *engine) joinLane(target ir.BlockID, colorID int, lv laneVal) {
 	if fresh {
 		cur.budget = 0
 	}
-	widening := e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
+	lst, owned := e.saturate(target, lv.st)
+	widening := e.widenOK && e.opts.WideningThreshold > 0 && e.loopHeader[target] &&
 		e.laneChanges[target][colorID] >= e.opts.WideningThreshold
 	var prev *cache.State
 	if widening {
 		prev = cur.st.Clone()
 	}
-	changed := e.dom.JoinInto(cur.st, lv.st)
+	changed := e.dom.JoinInto(cur.st, lst)
+	if owned {
+		e.pool.Put(lst)
+	}
 	if changed && widening {
 		cur.st = e.dom.Widen(prev, cur.st)
 		e.stats.Widenings++
@@ -481,7 +895,7 @@ func (e *engine) process(n ir.BlockID) {
 	// mispredict, so SS flows must seed lanes too). fk identifies the
 	// source flow for the depth oracle.
 	injectLanes := func(src, out *cache.State, fk flowKey) {
-		if !e.opts.Speculative || !isCondBr {
+		if !e.opts.Speculative || !isCondBr || e.lanesOff {
 			return
 		}
 		depth := e.depthFor(block, src, fk)
@@ -489,6 +903,18 @@ func (e *engine) process(n ir.BlockID) {
 			return
 		}
 		for _, c := range e.colorsAt[n] {
+			// Certain-branch skip: a lane whose budget cannot reach any
+			// wrong-path memory access transfers nothing, classifies
+			// nothing, and accumulates a Bottom rollback — spawning it
+			// would only burn lane joins and walks. Skipping is invisible
+			// to every classification (see laneNeed) and consistent across
+			// schedulers and set-group engines: the §6.2 depth per flow is
+			// nondecreasing during iteration, so the flow's final spawn is
+			// skipped in one engine iff it is skipped in all.
+			if e.laneNeed != nil && depth < e.laneNeed[c.specSucc] {
+				e.stats.LanesSkippedCertain++
+				continue
+			}
 			e.joinLane(c.specSucc, c.id, laneVal{st: out, budget: depth})
 			e.stats.LanesSpawned++
 		}

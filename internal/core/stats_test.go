@@ -126,7 +126,11 @@ func TestStatsCollectorFlush(t *testing.T) {
 // TestCollectorOverhead is the observability layer's performance contract:
 // attaching a collector may not slow the fixpoint on the medium reference
 // kernel by more than 2%. Rounds are interleaved and compared by minimum so
-// one scheduling hiccup cannot fail the build.
+// one scheduling hiccup cannot fail the build, and a measurement that still
+// exceeds the bound is repeated from scratch before failing: external load
+// (the rest of `go test ./...` saturating every core) can only inflate a
+// sample, so a genuine regression fails every attempt while transient
+// contention does not.
 func TestCollectorOverhead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-round wall-clock benchmark; skipped in -short")
@@ -148,34 +152,44 @@ func TestCollectorOverhead(t *testing.T) {
 		}
 		return time.Since(start)
 	}
-	const rounds = 6
-	minNil, minCol := time.Duration(1<<62), time.Duration(1<<62)
-	for i := 0; i < rounds; i++ {
-		// Alternate the order so slow drift (thermal, background load)
-		// penalizes both configurations equally.
-		if i%2 == 0 {
-			if d := run(nil); d < minNil {
-				minNil = d
-			}
-			if d := run(obs.NewCollector()); d < minCol {
-				minCol = d
-			}
-		} else {
-			if d := run(obs.NewCollector()); d < minCol {
-				minCol = d
-			}
-			if d := run(nil); d < minNil {
-				minNil = d
+	measure := func() (minNil, minCol time.Duration) {
+		const rounds = 6
+		minNil, minCol = time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < rounds; i++ {
+			// Alternate the order so slow drift (thermal, background
+			// load) penalizes both configurations equally.
+			if i%2 == 0 {
+				if d := run(nil); d < minNil {
+					minNil = d
+				}
+				if d := run(obs.NewCollector()); d < minCol {
+					minCol = d
+				}
+			} else {
+				if d := run(obs.NewCollector()); d < minCol {
+					minCol = d
+				}
+				if d := run(nil); d < minNil {
+					minNil = d
+				}
 			}
 		}
+		return minNil, minCol
 	}
-	if minNil <= 0 {
-		t.Skipf("clock too coarse: nil run measured %v", minNil)
+	const attempts = 3
+	var minNil, minCol time.Duration
+	var ratio float64
+	for a := 1; a <= attempts; a++ {
+		minNil, minCol = measure()
+		if minNil <= 0 {
+			t.Skipf("clock too coarse: nil run measured %v", minNil)
+		}
+		ratio = float64(minCol) / float64(minNil)
+		t.Logf("attempt %d: min nil=%v collector=%v ratio=%.4f", a, minNil, minCol, ratio)
+		if ratio <= 1.02 {
+			return
+		}
 	}
-	ratio := float64(minCol) / float64(minNil)
-	t.Logf("min nil=%v collector=%v ratio=%.4f", minNil, minCol, ratio)
-	if ratio > 1.02 {
-		t.Fatalf("collector overhead %.2f%% exceeds 2%% (nil %v, collector %v)",
-			(ratio-1)*100, minNil, minCol)
-	}
+	t.Fatalf("collector overhead %.2f%% exceeds 2%% on all %d attempts (nil %v, collector %v)",
+		(ratio-1)*100, attempts, minNil, minCol)
 }

@@ -98,6 +98,15 @@ type FixpointStats struct {
 	// walks that exhausted their budget inside a block.
 	LanesSpawned int64 `json:"lanes_spawned"`
 	LanesExpired int64 `json:"lanes_expired"`
+	// LanesSkippedCertain counts lane spawns the uncertainty focusing
+	// suppressed because the speculation budget provably cannot reach any
+	// wrong-path memory access (the skip is invisible to classifications).
+	LanesSkippedCertain int64 `json:"lanes_skipped_certain"`
+	// WTOComponents counts the components of the Bourdoncle weak
+	// topological ordering of the effective CFG — structural, identical in
+	// every per-set-group engine (set-once in Add, like Colors), and 0
+	// under the worklist scheduler, which never computes the ordering.
+	WTOComponents int64 `json:"wto_components"`
 	// Rollbacks counts rollback states injected into the architectural flow
 	// (every memory access inside a speculation window accumulates one).
 	Rollbacks int64 `json:"rollbacks"`
@@ -128,6 +137,10 @@ func (s *FixpointStats) Add(o FixpointStats) {
 	}
 	s.LanesSpawned += o.LanesSpawned
 	s.LanesExpired += o.LanesExpired
+	s.LanesSkippedCertain += o.LanesSkippedCertain
+	if s.WTOComponents == 0 {
+		s.WTOComponents = o.WTOComponents
+	}
 	s.Rollbacks += o.Rollbacks
 	s.DepthHitBounds += o.DepthHitBounds
 	s.DepthMissBounds += o.DepthMissBounds
@@ -207,8 +220,9 @@ func (s *Stats) WriteText(w io.Writer) {
 		f.Iterations, f.Joins, f.JoinChanges, f.SpecJoins, f.LaneJoins)
 	fmt.Fprintf(w, "           %d transfers, %d spec transfers, %d widenings, %d states pooled\n",
 		f.Transfers, f.SpecTransfers, f.Widenings, f.StatesPooled)
-	fmt.Fprintf(w, "lanes:     %d colors, %d spawned, %d expired, %d rollbacks injected\n",
-		f.Colors, f.LanesSpawned, f.LanesExpired, f.Rollbacks)
+	fmt.Fprintf(w, "schedule:  %d wto components\n", f.WTOComponents)
+	fmt.Fprintf(w, "lanes:     %d colors, %d spawned, %d skipped certain, %d expired, %d rollbacks injected\n",
+		f.Colors, f.LanesSpawned, f.LanesSkippedCertain, f.LanesExpired, f.Rollbacks)
 	fmt.Fprintf(w, "depth 6.2: %d pruned to b_h, %d at b_m\n",
 		f.DepthHitBounds, f.DepthMissBounds)
 	if pt.Groups > 0 {

@@ -158,6 +158,34 @@ func (c *checker) checkParallelEquivalence(dense, part *core.Result, label strin
 	}
 }
 
+// checkSchedulerEquivalence asserts the fixpoint scheduler is invisible:
+// classifications under the worklist scheduler (dense or set-partitioned)
+// must be byte-identical to the default WTO scheduler's. The engine earns
+// this by construction — widening runs in a canonical schedule-independent
+// phase, and the remaining iteration is monotone — and the oracle holds it
+// to that claim on every fuzzed program.
+func (c *checker) checkSchedulerEquivalence(wto, wl *core.Result, label string) {
+	if len(wto.Access) != len(wl.Access) || len(wto.SpecAccess) != len(wl.SpecAccess) {
+		c.violate(Violation{Property: SchedulerEquivalence, Config: label,
+			Detail: fmt.Sprintf("classified %d/%d accesses, WTO scheduler classified %d/%d",
+				len(wl.Access), len(wl.SpecAccess), len(wto.Access), len(wto.SpecAccess))})
+		return
+	}
+	for id, d := range wto.Access {
+		p, ok := wl.Access[id]
+		if !ok || p.Class != d.Class {
+			c.violate(Violation{Property: SchedulerEquivalence, Config: label, InstrID: id, Line: d.Instr.Line,
+				Detail: fmt.Sprintf("classified %v, WTO scheduler classified %v", p.Class, d.Class)})
+		}
+	}
+	for id, d := range wto.SpecAccess {
+		if p, ok := wl.SpecAccess[id]; !ok || p != d {
+			c.violate(Violation{Property: SchedulerEquivalence, Config: label, InstrID: id,
+				Detail: fmt.Sprintf("lane-classified %v, WTO scheduler lane-classified %v", p, d)})
+		}
+	}
+}
+
 // checkUnrollMonotone asserts the metamorphic unroll relation at speculation
 // depth 0, where concrete traces are identical across unroll levels (no
 // wrong path exists, and unrolling preserves architectural semantics):

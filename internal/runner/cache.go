@@ -45,6 +45,8 @@ type optsKey struct {
 	depthHit     int
 	dynamicDepth bool
 	strategy     core.Strategy
+	scheduler    core.Scheduler
+	noUncert     bool
 	refinedJoin  bool
 	widening     int
 	parallelism  int
@@ -60,6 +62,8 @@ func fingerprintOptions(o core.Options) optsKey {
 		depthHit:     o.DepthHit,
 		dynamicDepth: o.DynamicDepthBounding,
 		strategy:     o.Strategy,
+		scheduler:    o.Scheduler,
+		noUncert:     o.DisableUncertainty,
 		refinedJoin:  o.RefinedJoin,
 		widening:     o.WideningThreshold,
 		parallelism:  o.SetParallelism,

@@ -38,6 +38,15 @@ func WithDepths(miss, hit int) Option {
 	return func(c *Config) { c.DepthMiss, c.DepthHit = miss, hit }
 }
 
+// WithScheduler selects the fixpoint iteration order: WTO (Bourdoncle's
+// hierarchical weak topological ordering, the default) or Worklist (the
+// classic reverse-postorder priority worklist). Classifications are
+// byte-identical under either scheduler; only wall clock and the effort
+// counters differ.
+func WithScheduler(s Scheduler) Option {
+	return func(c *Config) { c.Scheduler = s }
+}
+
 // WithRefinedJoin toggles the Appendix-B shadow-variable join refinement
 // (on by default).
 func WithRefinedJoin(on bool) Option {
@@ -109,6 +118,7 @@ func (c Config) Options() []Option {
 		WithDepths(c.DepthMiss, c.DepthHit),
 		WithDynamicDepthBounding(c.DynamicDepthBounding),
 		WithStrategy(c.Strategy),
+		WithScheduler(c.Scheduler),
 		WithRefinedJoin(c.RefinedJoin),
 		WithMaxUnroll(c.MaxUnroll),
 		WithPasses(c.Passes),

@@ -1,0 +1,6 @@
+//go:build !race
+
+package specabsint
+
+// raceDetectorOn marks builds under `go test -race`; see race_on_test.go.
+const raceDetectorOn = false

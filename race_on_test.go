@@ -1,0 +1,9 @@
+//go:build race
+
+package specabsint
+
+// raceDetectorOn marks builds under `go test -race`. The corpus-wide
+// scheduler-equivalence sweep trims to its cheap kernels there (the detector
+// makes the full corpus an order of magnitude slower); the determinism and
+// equivalence properties themselves still run raced on those kernels.
+const raceDetectorOn = true

@@ -1,0 +1,173 @@
+package specabsint
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"specabsint/internal/bench"
+)
+
+// This file is the scheduler-equivalence harness: the WTO scheduler is a
+// pure performance knob, so classifications must be byte-identical to the
+// worklist scheduler's on the whole corpus, at every parallelism level, and
+// the deterministic stats contract must hold per scheduler. Any engine
+// change that lets iteration order leak into a verdict fails here.
+
+// classificationText renders every externally observable verdict of a
+// report: the equivalence tests compare these strings byte-for-byte.
+func classificationText(rep *Report) string {
+	var sb strings.Builder
+	for _, a := range rep.Accesses {
+		fmt.Fprintf(&sb, "line=%d store=%v sym=%s class=%v spec=%v reached=%v\n",
+			a.Line, a.Store, a.Symbol, a.Class, a.SpecClass, a.SpecReached)
+	}
+	fmt.Fprintf(&sb, "misses=%d specmisses=%d branches=%d\n", rep.Misses, rep.SpecMisses, rep.Branches)
+	for _, l := range rep.Leaks {
+		fmt.Fprintf(&sb, "leak line=%d sym=%s store=%v class=%v\n", l.Line, l.Symbol, l.Store, l.Class)
+	}
+	for _, g := range rep.SpectreGadgets {
+		fmt.Fprintf(&sb, "gadget line=%d sym=%s store=%v class=%v\n", g.Line, g.Symbol, g.Store, g.Class)
+	}
+	return sb.String()
+}
+
+// equivCorpus returns the kernels the sweep runs on: Fig. 2 plus the full
+// benchmark corpus (side-channel kernels get the standard client wrapper).
+// Under -race or -short it trims to the cheap representative slice so the
+// properties still run, just not corpus-wide.
+func equivCorpus(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{"fig2": bench.Fig2Program(-1)}
+	cheap := map[string]bool{"fig2": true, "crc": true, "jcmarker": true, "hash": true}
+	for _, b := range bench.All() {
+		code := b.Code
+		if b.Kind == bench.SideChannel {
+			code = bench.WithClient(b, 4096)
+		}
+		out[b.Name] = code
+	}
+	if raceDetectorOn || testing.Short() {
+		for name := range out {
+			if !cheap[name] {
+				delete(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// slowWorklist names kernels whose worklist arm is expensive at the shipped
+// configuration (seconds per run): the sweep keeps their WTO arm full-width
+// but runs the worklist arm only densely, against the same reference.
+var slowWorklist = map[string]bool{"adpcm": true, "g72": true, "susan": true, "jcphuff": true}
+
+// TestSchedulerEquivalenceCorpus is the tentpole guarantee: on every corpus
+// kernel, classifications under the WTO scheduler are byte-identical to the
+// worklist scheduler's, at SetParallelism 0, 1, 4, and NumCPU, with the
+// dense worklist run as the single reference.
+func TestSchedulerEquivalenceCorpus(t *testing.T) {
+	parallelisms := []int{0, 1, 4, runtime.NumCPU()}
+	if raceDetectorOn || testing.Short() {
+		parallelisms = []int{0, 2, runtime.NumCPU()}
+	}
+	for name, src := range equivCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			p, err := CompileOpts(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(s Scheduler, par int) string {
+				t.Helper()
+				rep, err := AnalyzeContext(t.Context(), p, WithScheduler(s), WithSetParallelism(par))
+				if err != nil {
+					t.Fatalf("scheduler=%v parallelism=%d: %v", s, par, err)
+				}
+				return classificationText(rep)
+			}
+			want := render(Worklist, 0)
+			for _, s := range []Scheduler{Worklist, WTO} {
+				pars := parallelisms
+				if s == Worklist && slowWorklist[name] {
+					pars = parallelisms[:1] // dense run only; it is the reference itself
+				}
+				for _, par := range pars {
+					if got := render(s, par); got != want {
+						t.Errorf("scheduler=%v parallelism=%d: classifications differ from worklist/dense reference:\n got:\n%s\nwant:\n%s", s, par, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerStatsDeterministic pins the per-scheduler stats contract:
+// with wall clock zeroed, the rendered stats document is byte-identical
+// across SetParallelism levels and across repeated runs — separately for
+// each scheduler. (The two schedulers legitimately differ from each other:
+// iteration counts and lane spawns depend on the visit order.)
+func TestSchedulerStatsDeterministic(t *testing.T) {
+	kernels := map[string]string{"fig2": bench.Fig2Program(-1)}
+	if !raceDetectorOn && !testing.Short() {
+		kernels["jcmarker"] = mustKernel(t, "jcmarker")
+	}
+	parallelisms := []int{0, 1, 4, runtime.NumCPU()}
+	if raceDetectorOn || testing.Short() {
+		parallelisms = []int{0, 2, runtime.NumCPU()}
+	}
+	for name, src := range kernels {
+		t.Run(name, func(t *testing.T) {
+			render := func(s Scheduler, par int) string {
+				t.Helper()
+				opts := []Option{WithStats(true), WithScheduler(s), WithSetParallelism(par)}
+				p, err := CompileOpts(src, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := AnalyzeContext(t.Context(), p, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep.Stats.ZeroTimes()
+				out, err := rep.Stats.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(out)
+			}
+			for _, s := range []Scheduler{WTO, Worklist} {
+				want := render(s, 0)
+				for _, par := range parallelisms {
+					if got := render(s, par); got != want {
+						t.Errorf("scheduler=%v parallelism=%d: stats differ from dense run:\n got %s\nwant %s", s, par, got, want)
+					}
+				}
+				// Repeated-run determinism: same config, same document.
+				if got := render(s, 0); got != want {
+					t.Errorf("scheduler=%v: repeated run changed the stats document:\n got %s\nwant %s", s, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerOptionRoundTrip pins the public plumbing: the option reaches
+// the config, survives Config.Options(), and the zero value is the WTO
+// default.
+func TestSchedulerOptionRoundTrip(t *testing.T) {
+	if got := newConfig(nil).Scheduler; got != WTO {
+		t.Fatalf("default scheduler = %v, want %v", got, WTO)
+	}
+	cfg := newConfig([]Option{WithScheduler(Worklist)})
+	if cfg.Scheduler != Worklist {
+		t.Fatalf("WithScheduler(Worklist) -> %v", cfg.Scheduler)
+	}
+	round := newConfig(cfg.Options())
+	if round.Scheduler != Worklist {
+		t.Fatalf("Config.Options() dropped the scheduler: %v", round.Scheduler)
+	}
+	if WTO.String() != "wto" || Worklist.String() != "worklist" {
+		t.Fatalf("scheduler names = %q/%q", WTO.String(), Worklist.String())
+	}
+}

@@ -63,6 +63,19 @@ const (
 	PerRollbackBlock = core.StrategyPerRollbackBlock
 )
 
+// Scheduler selects the fixpoint iteration order (see WithScheduler).
+type Scheduler = core.Scheduler
+
+// Fixpoint schedulers.
+const (
+	// WTO iterates in Bourdoncle's hierarchical weak topological order,
+	// stabilizing inner loop components before re-entering outer ones.
+	// The default.
+	WTO = core.SchedulerWTO
+	// Worklist is the classic reverse-postorder priority worklist.
+	Worklist = core.SchedulerWorklist
+)
+
 // Classification of one memory access.
 type Classification = cache.Classification
 
@@ -132,6 +145,13 @@ type Config struct {
 	DynamicDepthBounding bool
 	// Strategy selects the merge strategy (default JustInTime).
 	Strategy Strategy
+	// Scheduler selects the fixpoint iteration order (default WTO).
+	// Classifications are byte-identical under either scheduler — the
+	// classic widening-bearing pass always runs under one canonical
+	// schedule, and the speculative completion is a pure monotone
+	// iteration — so this is purely a performance knob; only the effort
+	// counters (iterations, joins, spawns) differ.
+	Scheduler Scheduler
 	// RefinedJoin enables the Appendix-B shadow-variable refinement.
 	RefinedJoin bool
 	// MaxUnroll caps full unrolling of constant-trip loops.
@@ -163,6 +183,7 @@ func DefaultConfig() Config {
 		DepthHit:             o.DepthHit,
 		DynamicDepthBounding: o.DynamicDepthBounding,
 		Strategy:             o.Strategy,
+		Scheduler:            o.Scheduler,
 		RefinedJoin:          o.RefinedJoin,
 		MaxUnroll:            lower.DefaultOptions().MaxUnroll,
 		Passes:               true,
@@ -177,6 +198,7 @@ func (c Config) coreOptions() core.Options {
 	o.DepthHit = c.DepthHit
 	o.DynamicDepthBounding = c.DynamicDepthBounding
 	o.Strategy = c.Strategy
+	o.Scheduler = c.Scheduler
 	o.RefinedJoin = c.RefinedJoin
 	o.SetParallelism = c.SetParallelism
 	return o

@@ -26,6 +26,10 @@ type Options struct {
 	// Strategy selects the merge strategy: "jit", "rollback" or "partition"
 	// (the same names specanalyze -strategy accepts).
 	Strategy *string `json:"strategy,omitempty"`
+	// Scheduler selects the fixpoint iteration order: "wto" or "worklist"
+	// (the same names specanalyze -scheduler accepts). Classifications are
+	// byte-identical under either; it is a performance knob.
+	Scheduler *string `json:"scheduler,omitempty"`
 	// RefinedJoin toggles the Appendix-B shadow-variable refinement.
 	RefinedJoin *bool `json:"refined_join,omitempty"`
 	// MaxUnroll caps full unrolling of constant-trip loops at lowering time.
@@ -80,11 +84,44 @@ func strategyFromString(s string) (specabsint.Strategy, error) {
 		s, StrategyJIT, StrategyRollback, StrategyPartition)
 }
 
+// Scheduler wire names.
+const (
+	SchedulerWTO      = "wto"
+	SchedulerWorklist = "worklist"
+)
+
+// schedulerString renders a fixpoint scheduler into its frozen wire name.
+func schedulerString(s specabsint.Scheduler) (string, error) {
+	switch s {
+	case specabsint.WTO:
+		return SchedulerWTO, nil
+	case specabsint.Worklist:
+		return SchedulerWorklist, nil
+	}
+	return "", fmt.Errorf("wire: unknown scheduler %v", s)
+}
+
+// schedulerFromString is the inverse of schedulerString.
+func schedulerFromString(s string) (specabsint.Scheduler, error) {
+	switch s {
+	case SchedulerWTO:
+		return specabsint.WTO, nil
+	case SchedulerWorklist:
+		return specabsint.Worklist, nil
+	}
+	return specabsint.WTO, fmt.Errorf("wire: unknown scheduler %q (want %s or %s)",
+		s, SchedulerWTO, SchedulerWorklist)
+}
+
 // FromConfig renders a Config with every field populated, so the document
 // reconstructs the configuration exactly regardless of the receiver's
 // defaults.
 func FromConfig(cfg specabsint.Config) (*Options, error) {
 	strat, err := strategyString(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := schedulerString(cfg.Scheduler)
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +136,7 @@ func FromConfig(cfg specabsint.Config) (*Options, error) {
 		DepthHit:             ptr(cfg.DepthHit),
 		DynamicDepthBounding: ptr(cfg.DynamicDepthBounding),
 		Strategy:             ptr(strat),
+		Scheduler:            ptr(sched),
 		RefinedJoin:          ptr(cfg.RefinedJoin),
 		MaxUnroll:            ptr(cfg.MaxUnroll),
 		Passes:               ptr(cfg.Passes),
@@ -147,6 +185,13 @@ func (o *Options) Config() (specabsint.Config, error) {
 			return cfg, err
 		}
 		cfg.Strategy = strat
+	}
+	if o.Scheduler != nil {
+		sched, err := schedulerFromString(*o.Scheduler)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Scheduler = sched
 	}
 	if o.RefinedJoin != nil {
 		cfg.RefinedJoin = *o.RefinedJoin
