@@ -62,6 +62,7 @@ func TestConfigOptionsRoundTrip(t *testing.T) {
 			Passes:               false,
 			SetParallelism:       4,
 			Stats:                true,
+			MitigateVerify:       true,
 		},
 	}
 	for i, cfg := range cfgs {

@@ -11,6 +11,7 @@
 //
 //	specanalyze -lines 512 -linesize 64 -bm 200 -bh 20 examples/fig2.c
 //	specanalyze -corpus fig2 -stats=json -stats-notimes
+//	specanalyze -corpus fig2 -mitigate
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "cache-set fixpoint parallelism (0 = single dense fixpoint)")
 		timeout    = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
 		sim        = flag.Bool("sim", false, "also run the concrete speculative simulator")
+		mitigateF  = flag.Bool("mitigate", false, "synthesize a fence set repairing the reported leaks and print the mitigation summary (text mode only)")
 		verbose    = flag.Bool("v", false, "print every access verdict")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
 		statsMode  = flag.String("stats", "", "print only the analysis stats document: json or text")
@@ -216,6 +218,27 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nconcrete simulation (all branches mispredicted): %v\n", stats)
+	}
+	if *mitigateF {
+		mrep, err := specabsint.Mitigate(ctx, prog, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nmitigation (fence synthesis):")
+		if len(mrep.Fences) == 0 {
+			fmt.Println("  no fences needed")
+		} else {
+			fmt.Printf("  %d fence(s), %d analyses:\n", len(mrep.Fences), mrep.Analyses)
+			for _, f := range mrep.Fences {
+				fmt.Printf("    %s\n", f)
+			}
+		}
+		fmt.Printf("  residual: %d leak(s), %d gadget(s)\n", mrep.ResidualLeaks, mrep.ResidualGadgets)
+		if mrep.WCETBounded {
+			fmt.Printf("  wcet: %d -> %d cycles (%+.2f%%)\n", mrep.BaselineWCET, mrep.MitigatedWCET, mrep.OverheadPercent)
+		}
+		// The full document — placements, verification verdict, wire JSON —
+		// is specmitigate's job; this is the triage view.
 	}
 }
 

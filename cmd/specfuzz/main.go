@@ -66,9 +66,10 @@ func main() {
 	}
 	cfg.Pool = runner.New(*workers)
 
-	// Alternate the three generator distributions so one sweep exercises
-	// plain programs, secret-carrying programs, and larger programs.
-	genCfgs := []gen.Config{gen.Default(), gen.Secrets(), gen.Sized(2)}
+	// Alternate the generator distributions so one sweep exercises plain
+	// programs, secret-carrying programs, larger programs, and fence-bearing
+	// programs (the shape the mitigation synthesizer emits).
+	genCfgs := []gen.Config{gen.Default(), gen.Secrets(), gen.Sized(2), gen.Fenced()}
 
 	start := time.Now()
 	deadline := time.Time{}

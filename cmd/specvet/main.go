@@ -1,6 +1,7 @@
 // Command specvet is the project's vet multichecker: it runs the
-// repository-specific analyzers (currently tools/statecheck, the cache.State
-// pooling-discipline check) over the given packages and exits non-zero on
+// repository-specific analyzers (tools/statecheck, the cache.State
+// pooling-discipline check, and tools/maprange, the nondeterministic
+// map-iteration check) over the given packages and exits non-zero on
 // findings, mirroring `go vet` so CI can chain them.
 //
 // Usage:
@@ -16,11 +17,13 @@ import (
 	"os"
 
 	"specabsint/tools/analysis"
+	"specabsint/tools/maprange"
 	"specabsint/tools/statecheck"
 )
 
 var analyzers = []*analysis.Analyzer{
 	statecheck.Analyzer,
+	maprange.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeProgram drops MiniC source into a temp file and returns its path.
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.c")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const fencedSrc = `char ph[256];
+char p;
+secret reg int k;
+int main() {
+  reg int t;
+  if (p == 0) {
+    fence;
+    t = ph[0];
+  }
+  t = ph[k & 255];
+  return t;
+}
+`
+
+// TestFenceRendering pins that fence instructions written in the source
+// appear in both the -ir listing and the DOT node labels.
+func TestFenceRendering(t *testing.T) {
+	path := writeProgram(t, fencedSrc)
+	var out bytes.Buffer
+	if err := run(&out, []string{"-ir", "-dot", path}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "fence") {
+		t.Fatalf("no fence instruction in output:\n%s", text)
+	}
+	if !strings.Contains(text, "digraph cfg") {
+		t.Fatalf("DOT section missing:\n%s", text)
+	}
+}
+
+// TestMitigationSummary pins the -mitigate section: a leaky program gets a
+// per-function row with synthesized fences and zero residual.
+func TestMitigationSummary(t *testing.T) {
+	src := `char ph[256];
+char p;
+secret reg int k;
+reg int t;
+int main() {
+  if (p == 0) {
+    t = ph[k & 255];
+  }
+  return t;
+}
+`
+	path := writeProgram(t, src)
+	var out bytes.Buffer
+	if err := run(&out, []string{"-dot=false", "-mitigate", path}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "mitigation summary:") {
+		t.Fatalf("no mitigation summary in output:\n%s", text)
+	}
+	if !strings.Contains(text, "main") {
+		t.Fatalf("no per-function row in output:\n%s", text)
+	}
+}
+
+// failingWriter errors on every write.
+type failingWriter struct{}
+
+var errSink = errors.New("sink failed")
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errSink }
+
+// TestWriteErrorExitsNonzero pins the failure path main relies on for its
+// non-zero exit: a write error on stdout must surface as run's error, not be
+// swallowed (a failed dump that exits 0 corrupts downstream pipelines).
+func TestWriteErrorExitsNonzero(t *testing.T) {
+	path := writeProgram(t, fencedSrc)
+	err := run(failingWriter{}, []string{"-ir", path})
+	if err == nil {
+		t.Fatal("run succeeded despite every write failing")
+	}
+	if !errors.Is(err, errSink) {
+		t.Fatalf("error %v does not wrap the writer's failure", err)
+	}
+}

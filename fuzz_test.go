@@ -20,6 +20,7 @@ func FuzzAnalyze(f *testing.F) {
 		"char ph[256];\nchar p;\nsecret int k;\nint main() {\nreg int i;\nreg int t;\nfor (i = 0; i < 256; i += 64) { t = ph[i]; }\nif (p == 0) { t = ph[0]; }\nt = ph[k & 255];\nreturn t;\n}\n",
 		"int a[4] = { 3, 1, 4, 1 };\nint main(int x) {\nfor (int i = 0; i < 4; i++) {\nif (a[i] == x) { return i; }\n}\nreturn -1;\n}\n",
 		"secret int sec;\nint sink;\nint arr0[16];\nint main(int inp) {\nsink = arr0[sec & 15];\nreturn inp;\n}\n",
+		"char ph[128];\nsecret int k;\nint main(int inp) {\nreg int t;\nif (inp == 0) {\nfence;\nt = ph[k & 127];\n}\nreturn t;\n}\n",
 	} {
 		f.Add(seed)
 	}

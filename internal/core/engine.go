@@ -365,19 +365,28 @@ const laneNeedInf = int(^uint(0)>>1) / 2
 // budget B transfers the access at instruction index i iff B >= i+1, and
 // continues into a successor with budget B-len(b.Instrs) iff that is
 // positive. need[b] is therefore the smallest entry budget at which a lane
-// entering b can reach any wrong-path memory access. The recurrence is
-// monotone decreasing from laneNeedInf, so round-robin iteration converges.
+// entering b can reach any wrong-path memory access. A fence truncates both
+// terms exactly as it truncates laneWalk: only accesses before the block's
+// first fence are reachable, and a fenced block has no successor
+// continuation (the lane dies at the fence). The recurrence is monotone
+// decreasing from laneNeedInf, so round-robin iteration converges.
 func laneNeedBudgets(prog *ir.Program, succs [][]ir.BlockID, accessSpec map[int]cache.Access) []int {
 	n := len(prog.Blocks)
 	need := make([]int, n)
 	first := make([]int, n)
+	fenced := make([]bool, n)
 	for _, b := range prog.Blocks {
 		need[b.ID] = laneNeedInf
 		first[b.ID] = laneNeedInf
 		for i := range b.Instrs {
-			if _, ok := accessSpec[b.Instrs[i].ID]; ok {
-				first[b.ID] = i + 1
+			if b.Instrs[i].Op == ir.OpFence {
+				fenced[b.ID] = true
 				break
+			}
+			if first[b.ID] == laneNeedInf {
+				if _, ok := accessSpec[b.Instrs[i].ID]; ok {
+					first[b.ID] = i + 1
+				}
 			}
 		}
 	}
@@ -385,9 +394,11 @@ func laneNeedBudgets(prog *ir.Program, succs [][]ir.BlockID, accessSpec map[int]
 		changed = false
 		for _, b := range prog.Blocks {
 			v := first[b.ID]
-			for _, s := range succs[b.ID] {
-				if c := len(b.Instrs) + need[s]; c < v {
-					v = c
+			if !fenced[b.ID] {
+				for _, s := range succs[b.ID] {
+					if c := len(b.Instrs) + need[s]; c < v {
+						v = c
+					}
 				}
 			}
 			if v < need[b.ID] {
@@ -1001,6 +1012,16 @@ func (e *engine) laneWalk(b *ir.Block, lv laneVal) (laneVal, *cache.State) {
 		if budget == 0 {
 			break
 		}
+		if b.Instrs[i].Op == ir.OpFence {
+			// A fence reaching execute kills all in-flight speculation: the
+			// wrong path stops here, before the fence issues, so nothing past
+			// it transfers, classifies, or continues into successors. The
+			// accumulated rollback still injects — a rollback may have
+			// occurred at any access before the fence.
+			budget = 0
+			e.stats.FencesHit++
+			break
+		}
 		budget--
 		if acc, ok := e.accessSpec[b.Instrs[i].ID]; ok {
 			e.dom.Transfer(st, acc)
@@ -1165,7 +1186,7 @@ func (e *engine) recordDepths() depthOracle {
 
 func writesDst(op ir.Op) bool {
 	switch op {
-	case ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop:
+	case ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop, ir.OpFence:
 		return false
 	}
 	return true
@@ -1181,7 +1202,7 @@ func regOperands(in *ir.Instr) []ir.Reg {
 		}
 	}
 	switch in.Op {
-	case ir.OpConst, ir.OpNop, ir.OpBr:
+	case ir.OpConst, ir.OpNop, ir.OpBr, ir.OpFence:
 		// no register reads
 	case ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpBool, ir.OpCondBr, ir.OpRet:
 		add(in.A)
@@ -1276,6 +1297,11 @@ func (e *engine) classify(res *Result) {
 			budget := lv.budget
 			for i := range b.Instrs {
 				if budget == 0 {
+					break
+				}
+				// Mirror laneWalk's fence truncation (without re-counting
+				// FencesHit): no wrong-path verdict exists past a fence.
+				if b.Instrs[i].Op == ir.OpFence {
 					break
 				}
 				budget--

@@ -45,6 +45,11 @@ type Config struct {
 	// The secret never flows into a branch condition, so the only channel in
 	// a generated program is the data cache.
 	Secret bool
+	// Fences adds `fence;` statements to the statement die: speculation
+	// barriers at random points exercise the analyzer's lane-truncation
+	// paths and the machine's wrong-path squashing against each other.
+	// Off by default so the historical rng consumption is untouched.
+	Fences bool
 }
 
 // Default mirrors the original soundness-suite generator: 2–4 scalars, 1–2
@@ -65,6 +70,15 @@ func Default() Config {
 func Secrets() Config {
 	c := Default()
 	c.Secret = true
+	return c
+}
+
+// Fenced is Secrets with fence emission enabled: leaky programs with random
+// speculation barriers, the shape the mitigation synthesizer both consumes
+// and produces.
+func Fenced() Config {
+	c := Secrets()
+	c.Fences = true
 	return c
 }
 
@@ -154,16 +168,24 @@ func Program(rng *rand.Rand, cfg Config) string {
 	}
 
 	// kinds is the statement-kind die. The historical generator rolled
-	// Intn(8); secret mode extends the die with two secret-access faces so
-	// the default distribution is untouched.
+	// Intn(8); secret mode extends the die with two secret-access faces and
+	// fence mode with one barrier face, so the default distribution is
+	// untouched when both are off.
 	kinds := 8
 	if cfg.Secret {
 		kinds = 10
+	}
+	fenceFace := -1
+	if cfg.Fences {
+		fenceFace = kinds
+		kinds++
 	}
 	var stmts func(depth, n int)
 	stmts = func(depth, n int) {
 		for i := 0; i < n; i++ {
 			switch k := rng.Intn(kinds); {
+			case k == fenceFace:
+				sb.WriteString("fence;\n")
 			case k < 3:
 				fmt.Fprintf(&sb, "g%d = %s;\n", rng.Intn(nScalars), expr())
 			case k < 5:

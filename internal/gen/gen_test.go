@@ -13,7 +13,7 @@ import (
 // same source — the whole point of a shared generator is that a failing seed
 // reproduces identically in every suite.
 func TestDeterministic(t *testing.T) {
-	for _, cfg := range []Config{Default(), Secrets(), Sized(3)} {
+	for _, cfg := range []Config{Default(), Secrets(), Sized(3), Fenced()} {
 		for seed := int64(1); seed <= 10; seed++ {
 			a := Program(rand.New(rand.NewSource(seed)), cfg)
 			b := Program(rand.New(rand.NewSource(seed)), cfg)
@@ -42,6 +42,7 @@ func TestGeneratedProgramsCompile(t *testing.T) {
 		"default": Default(),
 		"secret":  Secrets(),
 		"sized4":  Sized(4),
+		"fenced":  Fenced(),
 	}
 	n := int64(60)
 	if testing.Short() {
@@ -54,6 +55,29 @@ func TestGeneratedProgramsCompile(t *testing.T) {
 				t.Fatalf("%s seed %d does not compile: %v\n%s", name, seed, err, src)
 			}
 		}
+	}
+}
+
+// TestFencedModeEmitsFences: across a seed sweep the fence face must
+// actually fire (producing `fence;` statements the front end accepts), and
+// turning it on must not disturb what the secret machinery guarantees.
+func TestFencedModeEmitsFences(t *testing.T) {
+	fenced := 0
+	for seed := int64(1); seed <= 40; seed++ {
+		src := Program(rand.New(rand.NewSource(seed)), Fenced())
+		if strings.Contains(src, "fence;") {
+			fenced++
+		}
+		prog, err := bench.Compile(src, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if strings.Contains(src, "fence;") && prog.FenceCount() == 0 {
+			t.Errorf("seed %d: fence statement lowered to no fence op", seed)
+		}
+	}
+	if fenced < 10 {
+		t.Fatalf("only %d/40 fenced-mode programs contain a fence", fenced)
 	}
 }
 

@@ -119,7 +119,9 @@ func (m *Machine) Step(s *State) error {
 		s.IP++
 	}
 	switch in.Op {
-	case ir.OpNop:
+	case ir.OpNop, ir.OpFence:
+		// A fence is architecturally a no-op; its speculation-killing effect
+		// lives in the speculative simulator and the abstract engine.
 		advance()
 	case ir.OpConst, ir.OpMov:
 		s.Regs[in.Dst] = s.value(in.A)

@@ -179,7 +179,7 @@ func (a *analyzer) classifyRegisters() {
 				}
 			}
 			switch in.Op {
-			case ir.OpConst, ir.OpNop, ir.OpBr:
+			case ir.OpConst, ir.OpNop, ir.OpBr, ir.OpFence:
 			case ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpBool, ir.OpCondBr, ir.OpRet:
 				use(in.A)
 			case ir.OpLoad:
@@ -212,7 +212,7 @@ func (a *analyzer) classifyRegisters() {
 
 func writesValue(op ir.Op) bool {
 	switch op {
-	case ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop:
+	case ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop, ir.OpFence:
 		return false
 	}
 	return true
@@ -359,7 +359,7 @@ func (a *analyzer) transfer(env *Env, instr *ir.Instr) {
 		if sym.Len == 1 {
 			env.Mems[instr.Sym] = val(instr.A)
 		}
-	case ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop:
+	case ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop, ir.OpFence:
 		// no value effect
 	}
 }

@@ -124,6 +124,11 @@ func (bd *Builder) Store(sym SymbolID, idx Value, v Value) {
 	bd.emit(Instr{Op: OpStore, Sym: sym, Idx: idx, A: v})
 }
 
+// Fence emits a speculation barrier.
+func (bd *Builder) Fence() {
+	bd.emit(Instr{Op: OpFence})
+}
+
 // Br emits an unconditional branch.
 func (bd *Builder) Br(target BlockID) {
 	bd.emit(Instr{Op: OpBr, TrueTarget: target})

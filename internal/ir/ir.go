@@ -71,6 +71,12 @@ const (
 	OpBr
 	OpCondBr
 	OpRet
+	// OpFence is a speculation barrier: architecturally a no-op, but it
+	// stops speculative execution dead — the simulator squashes every
+	// in-flight wrong-path instruction when a fence reaches execute, and the
+	// abstract engine terminates any speculative lane that crosses it. It is
+	// the primitive the mitigation synthesizer (internal/mitigate) inserts.
+	OpFence
 )
 
 var opNames = map[Op]string{
@@ -101,6 +107,7 @@ var opNames = map[Op]string{
 	OpBr:     "br",
 	OpCondBr: "condbr",
 	OpRet:    "ret",
+	OpFence:  "fence",
 }
 
 // String returns the opcode mnemonic.
@@ -314,6 +321,19 @@ func (p *Program) ResolvedBranchCount() int {
 	return n
 }
 
+// FenceCount returns the number of fence instructions.
+func (p *Program) FenceCount() int {
+	n := 0
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == OpFence {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // MemAccessCount returns the number of Load/Store instructions.
 func (p *Program) MemAccessCount() int {
 	n := 0
@@ -389,6 +409,8 @@ func (p *Program) FormatInstr(in *Instr) string {
 		return fmt.Sprintf("ret %s", in.A)
 	case OpNop:
 		return "nop"
+	case OpFence:
+		return "fence"
 	default:
 		return fmt.Sprintf("%s = %s %s, %s", in.Dst, in.Op, in.A, in.B)
 	}
@@ -442,7 +464,7 @@ func (p *Program) Validate() error {
 
 func usesA(op Op) bool {
 	switch op {
-	case OpNop, OpBr:
+	case OpNop, OpBr, OpFence:
 		return false
 	}
 	return true

@@ -12,7 +12,7 @@ func forEachUse(in *ir.Instr, fn func(ir.Reg)) {
 		}
 	}
 	switch in.Op {
-	case ir.OpNop, ir.OpBr, ir.OpConst:
+	case ir.OpNop, ir.OpBr, ir.OpConst, ir.OpFence:
 	case ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpBool, ir.OpRet, ir.OpCondBr:
 		useVal(in.A)
 	case ir.OpLoad:

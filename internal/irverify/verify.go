@@ -289,7 +289,7 @@ func (v *verifier) checkInstr(b *ir.Block, i int, in *ir.Instr) {
 		v.report(b, i, "operand", "%s carries a Resolved branch marker", in.Op)
 	}
 	switch in.Op {
-	case ir.OpNop, ir.OpBr, ir.OpRet:
+	case ir.OpNop, ir.OpBr, ir.OpRet, ir.OpFence:
 		// No destination register.
 	default:
 		if writesValue(in.Op) {
@@ -297,7 +297,7 @@ func (v *verifier) checkInstr(b *ir.Block, i int, in *ir.Instr) {
 		}
 	}
 	switch in.Op {
-	case ir.OpNop:
+	case ir.OpNop, ir.OpFence:
 	case ir.OpConst:
 		if !in.A.IsConst {
 			v.report(b, i, "operand", "const operand is a register (%s)", in.A)
@@ -372,7 +372,7 @@ func (v *verifier) checkGraph() {
 
 func writesValue(op ir.Op) bool {
 	switch op {
-	case ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop:
+	case ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop, ir.OpFence:
 		return false
 	}
 	return true

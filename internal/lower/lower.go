@@ -269,6 +269,9 @@ func (lw *lowerer) lowerStmt(s source.Stmt) error {
 		}
 		lw.bd.Br(lw.loops[len(lw.loops)-1].continueTo)
 		return nil
+	case *source.FenceStmt:
+		lw.bd.Fence()
+		return nil
 	case *source.ReturnStmt:
 		if st.X != nil {
 			v, err := lw.lowerExpr(st.X)

@@ -45,6 +45,11 @@ type Config struct {
 	// assignment a trace the abstract result must over-approximate.
 	// Register-resident (`reg`) variables are not addressable here.
 	Inputs map[string]int64
+	// RegInputs preloads virtual registers before execution — the
+	// register-file analogue of Inputs, for varying `reg`-resident values
+	// (including `secret reg` declarations, which Inputs cannot reach)
+	// across replays. Registers outside the program's range are rejected.
+	RegInputs map[ir.Reg]int64
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -73,8 +78,10 @@ type Stats struct {
 	Branches         int64
 	Mispredicts      int64
 	Rollbacks        int64
-	Cycles           int64
-	Ret              int64
+	// SpecFences counts wrong-path executions squashed by reaching a fence.
+	SpecFences int64
+	Cycles     int64
+	Ret        int64
 	// Instruction-cache counters (zero unless Config.ICache is set).
 	IFetchHits       int64
 	IFetchMisses     int64
@@ -212,6 +219,12 @@ func (s *Simulator) Run() error {
 		}
 		st.Mem[sym.ID][0] = v
 	}
+	for r, v := range s.Cfg.RegInputs {
+		if int(r) < 0 || int(r) >= s.Prog.NumRegs {
+			return fmt.Errorf("machine: register input %s out of range", r)
+		}
+		st.Regs[r] = v
+	}
 
 	hooksFor := func(spec bool) interp.Hooks {
 		return interp.Hooks{
@@ -311,7 +324,14 @@ func (s *Simulator) speculate(st *interp.State, branch *ir.Instr, predicted bool
 		defer func() { s.m.ResolveOOB = nil }()
 	}
 	for i := 0; i < depth && !clone.Done; i++ {
-		s.fetch(s.m.CurrentInstr(clone), true)
+		in := s.m.CurrentInstr(clone)
+		if in.Op == ir.OpFence {
+			// A fence reaching execute kills all in-flight speculation: the
+			// wrong path stops here, before the fence's successors issue.
+			s.Stats.SpecFences++
+			break
+		}
+		s.fetch(in, true)
 		if err := s.m.Step(clone); err != nil {
 			if errors.Is(err, interp.ErrOutOfBounds) || errors.Is(err, interp.ErrDivideByZero) {
 				break // fault on the wrong path: squash

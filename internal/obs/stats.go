@@ -102,6 +102,10 @@ type FixpointStats struct {
 	// suppressed because the speculation budget provably cannot reach any
 	// wrong-path memory access (the skip is invisible to classifications).
 	LanesSkippedCertain int64 `json:"lanes_skipped_certain"`
+	// FencesHit counts lane walks terminated by reaching a fence instruction
+	// (the speculation barrier the mitigation synthesizer inserts): the lane's
+	// budget is zeroed at the fence and nothing past it transfers.
+	FencesHit int64 `json:"fences_hit"`
 	// WTOComponents counts the components of the Bourdoncle weak
 	// topological ordering of the effective CFG — structural, identical in
 	// every per-set-group engine (set-once in Add, like Colors), and 0
@@ -138,6 +142,7 @@ func (s *FixpointStats) Add(o FixpointStats) {
 	s.LanesSpawned += o.LanesSpawned
 	s.LanesExpired += o.LanesExpired
 	s.LanesSkippedCertain += o.LanesSkippedCertain
+	s.FencesHit += o.FencesHit
 	if s.WTOComponents == 0 {
 		s.WTOComponents = o.WTOComponents
 	}
@@ -223,6 +228,9 @@ func (s *Stats) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "schedule:  %d wto components\n", f.WTOComponents)
 	fmt.Fprintf(w, "lanes:     %d colors, %d spawned, %d skipped certain, %d expired, %d rollbacks injected\n",
 		f.Colors, f.LanesSpawned, f.LanesSkippedCertain, f.LanesExpired, f.Rollbacks)
+	if f.FencesHit > 0 {
+		fmt.Fprintf(w, "fences:    %d lane walks killed at a fence\n", f.FencesHit)
+	}
 	fmt.Fprintf(w, "depth 6.2: %d pruned to b_h, %d at b_m\n",
 		f.DepthHitBounds, f.DepthMissBounds)
 	if pt.Groups > 0 {

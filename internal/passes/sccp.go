@@ -162,7 +162,7 @@ func (s *sccpState) transfer(env []lat, in *ir.Instr) {
 		if s.prog.Symbol(in.Sym).Len == 1 {
 			env[s.slotSym(in.Sym)] = s.lookup(env, in.A)
 		}
-	case ir.OpNop, ir.OpBr, ir.OpCondBr, ir.OpRet:
+	case ir.OpNop, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpFence:
 	default:
 		if !in.Op.IsBinop() {
 			return

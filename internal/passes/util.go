@@ -11,7 +11,7 @@ func eachUse(in *ir.Instr, fn func(*ir.Value)) {
 		}
 	}
 	switch in.Op {
-	case ir.OpNop, ir.OpBr, ir.OpConst:
+	case ir.OpNop, ir.OpBr, ir.OpConst, ir.OpFence:
 	case ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpBool, ir.OpRet, ir.OpCondBr:
 		useVal(&in.A)
 	case ir.OpLoad:
@@ -30,7 +30,7 @@ func eachUse(in *ir.Instr, fn func(*ir.Value)) {
 // instrDef returns the register the instruction writes, if any.
 func instrDef(in *ir.Instr) (ir.Reg, bool) {
 	switch in.Op {
-	case ir.OpNop, ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet:
+	case ir.OpNop, ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpFence:
 		return 0, false
 	}
 	return in.Dst, true

@@ -194,6 +194,11 @@ type ReturnStmt struct {
 	Pos Pos
 }
 
+// FenceStmt is a `fence;` speculation barrier: architecturally a no-op, it
+// stops speculative execution at this program point. The mitigation
+// synthesizer inserts these; writing them by hand is also legal.
+type FenceStmt struct{ Pos Pos }
+
 func (*BlockStmt) stmtNode()    {}
 func (*DeclStmt) stmtNode()     {}
 func (*AssignStmt) stmtNode()   {}
@@ -204,6 +209,7 @@ func (*ForStmt) stmtNode()      {}
 func (*BreakStmt) stmtNode()    {}
 func (*ContinueStmt) stmtNode() {}
 func (*ReturnStmt) stmtNode()   {}
+func (*FenceStmt) stmtNode()    {}
 
 // StmtPos returns the statement's source position.
 func (s *BlockStmt) StmtPos() Pos    { return s.Pos }
@@ -216,6 +222,7 @@ func (s *ForStmt) StmtPos() Pos      { return s.Pos }
 func (s *BreakStmt) StmtPos() Pos    { return s.Pos }
 func (s *ContinueStmt) StmtPos() Pos { return s.Pos }
 func (s *ReturnStmt) StmtPos() Pos   { return s.Pos }
+func (s *FenceStmt) StmtPos() Pos    { return s.Pos }
 
 // NumberExpr is an integer literal.
 type NumberExpr struct {

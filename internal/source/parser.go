@@ -289,6 +289,12 @@ func (p *Parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		return &ReturnStmt{X: x, Pos: t.Pos}, nil
+	case KwFence:
+		p.advance()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &FenceStmt{Pos: t.Pos}, nil
 	case Semicolon:
 		p.advance()
 		return &BlockStmt{Pos: t.Pos}, nil

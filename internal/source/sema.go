@@ -170,6 +170,8 @@ func (c *checker) checkStmt(s Stmt) error {
 		c.loopDepth++
 		defer func() { c.loopDepth-- }()
 		return c.checkBlock(st.Body)
+	case *FenceStmt:
+		return nil
 	case *BreakStmt:
 		if c.loopDepth == 0 {
 			return errf(st.Pos, "break outside loop")

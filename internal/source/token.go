@@ -34,6 +34,7 @@ const (
 	KwReg
 	KwSecret
 	KwConst
+	KwFence
 
 	// Punctuation and operators.
 	LParen
@@ -89,6 +90,7 @@ var kindNames = map[Kind]string{
 	KwReg:       "reg",
 	KwSecret:    "secret",
 	KwConst:     "const",
+	KwFence:     "fence",
 	LParen:      "(",
 	RParen:      ")",
 	LBrace:      "{",
@@ -147,6 +149,7 @@ var keywords = map[string]Kind{
 	"reg":      KwReg,
 	"secret":   KwSecret,
 	"const":    KwConst,
+	"fence":    KwFence,
 }
 
 // Pos is a source position.

@@ -104,7 +104,7 @@ func AnalyzeSpeculative(prog *ir.Program, idx *interval.Result) *SpecResult {
 							changed = true
 						}
 					}
-				case ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop:
+				case ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop, ir.OpFence:
 				default: // binops
 					setReg(in.Dst, taintedVal(in.A) || taintedVal(in.B))
 				}

@@ -108,7 +108,7 @@ func Analyze(prog *ir.Program) *Result {
 							changed = true
 						}
 					}
-				case ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop:
+				case ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpNop, ir.OpFence:
 					// no dataflow
 				default: // binops
 					setReg(in.Dst, tainted(in.A) || tainted(in.B))

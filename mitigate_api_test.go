@@ -1,0 +1,91 @@
+package specabsint
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"specabsint/internal/bench"
+)
+
+// leakyProgram is the paper's Fig. 2 motivating example: the bounds check
+// keeps the classic analysis clean, but the mispredicted lane reaches the
+// secret-indexed load, so the repair is a pure fence insertion.
+var leakyProgram = bench.Fig2Program(-1)
+
+// TestMitigateRepairsLeak drives the public API end to end: baseline leak,
+// synthesized fences, zero residual, and a fenced program that re-analyzes
+// clean with the same options.
+func TestMitigateRepairsLeak(t *testing.T) {
+	prog, err := CompileOpts(leakyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Mitigate(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineLeaks == 0 {
+		t.Fatal("expected a baseline leak")
+	}
+	if rep.ResidualLeaks != 0 || rep.ResidualGadgets != 0 {
+		t.Fatalf("residual %d/%d, want 0/0", rep.ResidualLeaks, rep.ResidualGadgets)
+	}
+	if len(rep.Fences) == 0 {
+		t.Fatal("no fences synthesized")
+	}
+	if !strings.Contains(rep.Fences[0].String(), "fence at ") {
+		t.Fatalf("placement renders as %q", rep.Fences[0])
+	}
+	if rep.VerifySkipped || !rep.Verified {
+		t.Fatalf("differential verification: skipped=%v verified=%v", rep.VerifySkipped, rep.Verified)
+	}
+	if !strings.Contains(rep.Program.IR(), "fence") {
+		t.Fatal("fenced program's IR lists no fence")
+	}
+	after, err := AnalyzeContext(context.Background(), rep.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.LeakDetected || len(after.SpectreGadgets) != 0 {
+		t.Fatalf("fenced program still reports leaks: %+v", after.Leaks)
+	}
+}
+
+// TestMitigateCleanProgram pins the no-op path through the public API: no
+// leaks, no fences, and the same CompiledProgram back.
+func TestMitigateCleanProgram(t *testing.T) {
+	prog, err := CompileOpts("int main(int inp) { return inp; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Mitigate(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineLeaks != 0 || len(rep.Fences) != 0 {
+		t.Fatalf("clean program got %d leaks / %d fences", rep.BaselineLeaks, len(rep.Fences))
+	}
+	if rep.Program != prog {
+		t.Fatal("clean program must come back as the same *CompiledProgram")
+	}
+}
+
+// TestMitigateVerifyOption pins WithMitigateVerify(false): the check is
+// skipped, everything else is unchanged.
+func TestMitigateVerifyOption(t *testing.T) {
+	prog, err := CompileOpts(leakyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Mitigate(context.Background(), prog, WithMitigateVerify(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.VerifySkipped || rep.Verified || rep.Traces != 0 {
+		t.Fatalf("verification ran despite WithMitigateVerify(false): %+v", rep)
+	}
+	if rep.ResidualLeaks != 0 {
+		t.Fatalf("residual %d, want 0", rep.ResidualLeaks)
+	}
+}

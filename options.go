@@ -102,6 +102,13 @@ func WithMaxUnroll(n int) Option {
 	return func(c *Config) { c.MaxUnroll = n }
 }
 
+// WithMitigateVerify toggles the differential secret-pair trace check
+// Mitigate runs on the fenced program (on by default). The analysis entry
+// points ignore it.
+func WithMitigateVerify(on bool) Option {
+	return func(c *Config) { c.MitigateVerify = on }
+}
+
 // Options renders the Config as the equivalent option list: applying the
 // returned options to any starting configuration yields exactly c. Every
 // field is emitted explicitly (zero values included), so a Config decoded
@@ -124,6 +131,7 @@ func (c Config) Options() []Option {
 		WithPasses(c.Passes),
 		WithSetParallelism(c.SetParallelism),
 		WithStats(c.Stats),
+		WithMitigateVerify(c.MitigateVerify),
 	}
 }
 

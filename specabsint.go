@@ -171,6 +171,10 @@ type Config struct {
 	// phases, pass effects, fixpoint counters, partition shape). Off by
 	// default; the un-instrumented analysis path is allocation-free.
 	Stats bool
+	// MitigateVerify runs the differential secret-pair trace check on the
+	// fenced program Mitigate synthesizes (on by default). It only affects
+	// Mitigate; the analysis entry points ignore it.
+	MitigateVerify bool
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -187,6 +191,7 @@ func DefaultConfig() Config {
 		RefinedJoin:          o.RefinedJoin,
 		MaxUnroll:            lower.DefaultOptions().MaxUnroll,
 		Passes:               true,
+		MitigateVerify:       true,
 	}
 }
 

@@ -1,0 +1,371 @@
+// Package maprange is a vet-style analyzer that flags nondeterministic
+// map iteration feeding ordered output. Go randomizes map iteration order,
+// so a `for ... range m` over a map that appends to a slice, writes to an
+// io.Writer, or concatenates into a string produces a different result on
+// every run — exactly the bug class the project's determinism contracts
+// (canonical wire encodings, diffable -stats output, stable mitigation
+// reports) exist to prevent.
+//
+// The checker is syntactic (the driver does not type-check): an expression
+// counts as a map when the surrounding function or package declares it as
+// one (make(map...), a map literal, a `var x map[...]`, a map-typed
+// parameter) or when it is a selector whose field name is declared with map
+// type — and only map type — somewhere in the package. A flagged loop body
+// must actually order its output: it appends to a slice declared outside
+// the loop, calls a printing/writing method, or string-concatenates into an
+// outer variable. Loops whose accumulated slice is visibly sorted later in
+// the same function are exempt — collect-then-sort is the idiomatic fix,
+// not a bug.
+package maprange
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"specabsint/tools/analysis"
+)
+
+// Analyzer is the nondeterministic-map-iteration checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag `for ... range m` over a map whose body appends to a slice, writes\n" +
+		"output, or builds a string: iteration order is nondeterministic, so the\n" +
+		"result differs run to run; collect the keys and sort them first",
+	Run: run,
+}
+
+// writerCalls are method names whose invocation inside a map-range loop
+// emits output in iteration order.
+var writerCalls = map[string]bool{
+	"Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+func run(pass *analysis.Pass) error {
+	fields := packageMapFields(pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, maps: map[string]bool{}, fields: fields}
+			c.collectMapDecls(f)
+			c.collectFuncMaps(fn)
+			c.checkBody(fn.Body)
+		}
+	}
+	return nil
+}
+
+// packageMapFields collects struct field names that are declared with map
+// type — and never with a non-map type — anywhere in the package, so
+// `x.Sel` can be recognized as a map without type information.
+func packageMapFields(files []*ast.File) map[string]bool {
+	mapNamed := map[string]bool{}
+	otherNamed := map[string]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				_, isMap := fld.Type.(*ast.MapType)
+				for _, name := range fld.Names {
+					if isMap {
+						mapNamed[name.Name] = true
+					} else {
+						otherNamed[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for name := range otherNamed {
+		delete(mapNamed, name)
+	}
+	return mapNamed
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// maps holds local identifiers known to be map-typed.
+	maps map[string]bool
+	// fields holds package struct field names that are unambiguously maps.
+	fields map[string]bool
+}
+
+// collectMapDecls records package-level `var x map[...]` declarations.
+func (c *checker) collectMapDecls(f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if _, isMap := vs.Type.(*ast.MapType); isMap {
+				for _, name := range vs.Names {
+					c.maps[name.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// collectFuncMaps records map-typed parameters, receivers and local
+// declarations of one function.
+func (c *checker) collectFuncMaps(fn *ast.FuncDecl) {
+	record := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			if _, isMap := fld.Type.(*ast.MapType); isMap {
+				for _, name := range fld.Names {
+					c.maps[name.Name] = true
+				}
+			}
+		}
+	}
+	record(fn.Recv)
+	record(fn.Type.Params)
+	record(fn.Type.Results)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isMapExpr(rhs) {
+					c.maps[id.Name] = true
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						_, typed := vs.Type.(*ast.MapType)
+						for i, name := range vs.Names {
+							if typed || (i < len(vs.Values) && isMapExpr(vs.Values[i])) {
+								c.maps[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMapExpr reports whether an expression evidently produces a map:
+// make(map[...]...) or a map composite literal.
+func isMapExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+			_, isMap := x.Args[0].(*ast.MapType)
+			return isMap
+		}
+	case *ast.CompositeLit:
+		_, isMap := x.Type.(*ast.MapType)
+		return isMap
+	}
+	return false
+}
+
+// isMapRange reports whether a range statement iterates a recognized map.
+func (c *checker) isMapRange(rs *ast.RangeStmt) bool {
+	switch x := rs.X.(type) {
+	case *ast.Ident:
+		return c.maps[x.Name]
+	case *ast.SelectorExpr:
+		return c.fields[x.Sel.Name]
+	}
+	return false
+}
+
+// checkBody walks one function body, visiting every statement list so the
+// sort-after-loop exemption can see the loop's trailing siblings.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range block.List {
+			rs, ok := st.(*ast.RangeStmt)
+			if !ok || !c.isMapRange(rs) {
+				continue
+			}
+			c.checkLoop(rs, block.List[i+1:])
+		}
+		return true
+	})
+}
+
+// checkLoop reports the loop if its body orders output, unless the
+// accumulated slice is sorted in the statements following the loop.
+func (c *checker) checkLoop(rs *ast.RangeStmt, after []ast.Stmt) {
+	declared := localDecls(rs.Body)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				lhs, ok := x.Lhs[i].(*ast.Ident)
+				if !ok || declared[lhs.Name] {
+					continue
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && isAppend(call) && !sortedAfter(lhs.Name, after) {
+					c.pass.Report(analysis.Diagnostic{
+						Pos: rs.For,
+						Message: fmt.Sprintf("map iteration appends to %s in nondeterministic order; "+
+							"collect and sort the keys first", lhs.Name),
+					})
+					return false
+				}
+				if x.Tok == token.ADD_ASSIGN && isStringExpr(rhs) {
+					c.pass.Report(analysis.Diagnostic{
+						Pos: rs.For,
+						Message: fmt.Sprintf("map iteration concatenates into %s in nondeterministic order; "+
+							"collect and sort the keys first", lhs.Name),
+					})
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && writerCalls[sel.Sel.Name] {
+				c.pass.Report(analysis.Diagnostic{
+					Pos: rs.For,
+					Message: fmt.Sprintf("map iteration writes output via %s in nondeterministic order; "+
+						"collect and sort the keys first", sel.Sel.Name),
+				})
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// localDecls names the variables declared inside the loop body — appending
+// to those is loop-local and order-irrelevant by the time the loop exits.
+func localDecls(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							out[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isStringExpr reports whether an expression evidently produces a string —
+// the only `+=` accumulation that is order-sensitive (numeric sums are
+// commutative). A string literal anywhere in the expression, or a
+// fmt.Sprint* call, is the evidence.
+func isStringExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BasicLit:
+			if x.Kind == token.STRING {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Sprintf", "Sprint", "Sprintln", "String":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAppend reports whether the call is append(...).
+func isAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// sortedAfter reports whether an identifier is passed to a sort.* call (or
+// a call named sortX) in the statements after the loop — the
+// collect-then-sort idiom.
+func sortedAfter(name string, after []ast.Stmt) bool {
+	for _, st := range after {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes sort.X(...) and helper calls whose name starts with
+// "sort" (sortSites, sortKeys, ...).
+func isSortCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok && id.Name == "sort" {
+			return true
+		}
+	case *ast.Ident:
+		return len(fun.Name) >= 4 && fun.Name[:4] == "sort"
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package maprange
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"specabsint/tools/analysis"
+)
+
+// runOn applies the analyzer to one source string and returns the rendered
+// diagnostics.
+func runOn(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var out []string
+	pass := &analysis.Pass{
+		Analyzer: Analyzer,
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Pkg:      f.Name.Name,
+		Report: func(d analysis.Diagnostic) {
+			out = append(out, fset.Position(d.Pos).String()+": "+d.Message)
+		},
+	}
+	if err := Analyzer.Run(pass); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func wantDiag(t *testing.T, diags []string, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d, substr) {
+			return
+		}
+	}
+	t.Fatalf("no diagnostic containing %q; got %v", substr, diags)
+}
+
+func wantClean(t *testing.T, diags []string) {
+	t.Helper()
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics, got %v", diags)
+	}
+}
+
+func TestAppendWithoutSort(t *testing.T) {
+	wantDiag(t, runOn(t, `package p
+func f(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}`), "appends to out")
+}
+
+func TestCollectThenSortIsClean(t *testing.T) {
+	wantClean(t, runOn(t, `package p
+import "sort"
+func f(m map[int]string) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}`))
+}
+
+func TestSortHelperIsClean(t *testing.T) {
+	wantClean(t, runOn(t, `package p
+func f(m map[site]bool) []site {
+	var out []site
+	for s := range m {
+		out = append(out, s)
+	}
+	sortSites(out)
+	return out
+}`))
+}
+
+func TestWriterInLoop(t *testing.T) {
+	wantDiag(t, runOn(t, `package p
+import "fmt"
+import "io"
+func f(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}`), "writes output via Fprintf")
+}
+
+func TestStringConcat(t *testing.T) {
+	wantDiag(t, runOn(t, `package p
+func f() string {
+	m := map[string]int{"a": 1}
+	s := ""
+	for k := range m {
+		s += k + ";"
+	}
+	return s
+}`), "concatenates into s")
+}
+
+func TestCountingIsClean(t *testing.T) {
+	wantClean(t, runOn(t, `package p
+func f(m map[int]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}`))
+}
+
+func TestLoopLocalAppendIsClean(t *testing.T) {
+	wantClean(t, runOn(t, `package p
+func f(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		tmp := []int{}
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}`))
+}
+
+func TestLoopLocalVarAppendIsClean(t *testing.T) {
+	wantClean(t, runOn(t, `package p
+func f(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}`))
+}
+
+func TestStructFieldMap(t *testing.T) {
+	wantDiag(t, runOn(t, `package p
+type R struct {
+	Access map[int]string
+}
+func f(r *R) []string {
+	var out []string
+	for _, v := range r.Access {
+		out = append(out, v)
+	}
+	return out
+}`), "appends to out")
+}
+
+func TestSliceRangeIsClean(t *testing.T) {
+	wantClean(t, runOn(t, `package p
+func f(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}`))
+}
+
+func TestMakeMapLocal(t *testing.T) {
+	wantDiag(t, runOn(t, `package p
+func f() []int {
+	m := make(map[int]bool)
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`), "appends to out")
+}

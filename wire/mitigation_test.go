@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specabsint"
+	"specabsint/internal/bench"
+)
+
+// sampleMitigation is a fully-populated report exercising every wire field.
+func sampleMitigation() *specabsint.MitigationReport {
+	return &specabsint.MitigationReport{
+		Fences: []specabsint.FencePlacement{
+			{Block: "then0", Index: 0, Line: 12, Symbol: "ph"},
+			{Block: "else0", Index: 0, Line: 14},
+		},
+		BaselineLeaks:   2,
+		BaselineGadgets: 1,
+		ResidualLeaks:   0,
+		ResidualGadgets: 0,
+		Candidates:      5,
+		Analyses:        9,
+		BaselineWCET:    5400,
+		MitigatedWCET:   5200,
+		WCETBounded:     true,
+		OverheadPercent: -3.7,
+		Verified:        true,
+		Traces:          6,
+	}
+}
+
+// TestMitigationRoundTrip pins the exact-inverse property:
+// FromMitigation(m.ToMitigation()) == m, and the canonical encoding is
+// byte-stable through a decode.
+func TestMitigationRoundTrip(t *testing.T) {
+	m := FromMitigation(sampleMitigation())
+	rep, err := m.ToMitigation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Program != nil {
+		t.Fatal("Program must not round-trip through the wire")
+	}
+	back := FromMitigation(rep)
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("round trip drifted:\n %+v\nvs %+v", m, back)
+	}
+
+	enc, err := EncodeMitigation(sampleMitigation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeMitigation(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := Marshal(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("decode∘encode not byte-stable:\n%s\nvs\n%s", enc, enc2)
+	}
+}
+
+// TestMitigationRendered pins that the rendered line is recomputed from the
+// placement fields, never stored.
+func TestMitigationRendered(t *testing.T) {
+	m := FromMitigation(sampleMitigation())
+	if got := m.Fences[0].Rendered; !strings.Contains(got, "then0+0") || !strings.Contains(got, "ph") {
+		t.Fatalf("rendered placement %q missing location or symbol", got)
+	}
+	if m.Fences[1].Symbol != "" {
+		t.Fatalf("window-entry fence carries symbol %q", m.Fences[1].Symbol)
+	}
+}
+
+// TestMitigationStrictDecode pins unknown-field rejection and version
+// checking — the drift tripwires of the frozen contract.
+func TestMitigationStrictDecode(t *testing.T) {
+	if _, err := DecodeMitigation([]byte(`{"v":1,"baseline_leaks":1,"bogus":true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodeMitigation([]byte(`{"v":2,"baseline_leaks":1}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := DecodeMitigation([]byte(`{"baseline_leaks":1}`)); err == nil {
+		t.Fatal("missing version accepted")
+	}
+	if _, err := DecodeMitigation([]byte(`{"v":1,"fences":[{"block":"b0","index":0,"oops":1}]}`)); err == nil {
+		t.Fatal("unknown nested fence field accepted")
+	}
+}
+
+// TestOptionsMitigateVerifyRoundTrip pins the new option through the
+// FromConfig/Config round trip, including the non-default value.
+func TestOptionsMitigateVerifyRoundTrip(t *testing.T) {
+	for _, want := range []bool{true, false} {
+		cfg := specabsint.DefaultConfig()
+		cfg.MitigateVerify = want
+		o, err := FromConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.MitigateVerify == nil || *o.MitigateVerify != want {
+			t.Fatalf("FromConfig dropped MitigateVerify=%v", want)
+		}
+		back, err := o.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != cfg {
+			t.Fatalf("config round trip drifted:\n %+v\nvs %+v", cfg, back)
+		}
+	}
+	// Strict decode also covers the options document.
+	var o Options
+	if err := Unmarshal([]byte(`{"mitigate_verify":true,"mystery":1}`), &o); err == nil {
+		t.Fatal("unknown options field accepted")
+	}
+}
+
+// TestMitigationEndToEnd encodes a real synthesis result for the paper's
+// Fig. 2 program and checks the document claims a clean repair.
+func TestMitigationEndToEnd(t *testing.T) {
+	prog, err := specabsint.CompileOpts(bench.Fig2Program(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := specabsint.Mitigate(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeMitigation(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeMitigation(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.BaselineLeaks == 0 || dec.ResidualLeaks != 0 || len(dec.Fences) == 0 {
+		t.Fatalf("unexpected mitigation document: %+v", dec)
+	}
+}

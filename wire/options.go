@@ -41,6 +41,10 @@ type Options struct {
 	SetParallelism *int `json:"set_parallelism,omitempty"`
 	// Stats requests the observability snapshot in the response report.
 	Stats *bool `json:"stats,omitempty"`
+	// MitigateVerify toggles the differential secret-pair trace check on
+	// fence-synthesis results (specabsint.Mitigate); analysis requests
+	// ignore it.
+	MitigateVerify *bool `json:"mitigate_verify,omitempty"`
 }
 
 // CacheGeometry is the wire form of specabsint.CacheConfig.
@@ -142,6 +146,7 @@ func FromConfig(cfg specabsint.Config) (*Options, error) {
 		Passes:               ptr(cfg.Passes),
 		SetParallelism:       ptr(cfg.SetParallelism),
 		Stats:                ptr(cfg.Stats),
+		MitigateVerify:       ptr(cfg.MitigateVerify),
 	}, nil
 }
 
@@ -207,6 +212,9 @@ func (o *Options) Config() (specabsint.Config, error) {
 	}
 	if o.Stats != nil {
 		cfg.Stats = *o.Stats
+	}
+	if o.MitigateVerify != nil {
+		cfg.MitigateVerify = *o.MitigateVerify
 	}
 	return cfg, nil
 }
