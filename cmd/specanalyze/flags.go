@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+
+	"specabsint"
+)
+
+// The flag parsers reject unknown values instead of silently falling back to
+// a default: a typo in -scheduler or -exec must not quietly benchmark or
+// analyze the wrong configuration.
+
+// parseStrategy resolves the -strategy flag value.
+func parseStrategy(s string) (specabsint.Strategy, error) {
+	switch s {
+	case "jit":
+		return specabsint.JustInTime, nil
+	case "rollback":
+		return specabsint.MergeAtRollback, nil
+	case "partition":
+		return specabsint.PerRollbackBlock, nil
+	}
+	return specabsint.JustInTime, fmt.Errorf("unknown strategy %q (want jit, rollback or partition)", s)
+}
+
+// parseScheduler resolves the -scheduler flag value.
+func parseScheduler(s string) (specabsint.Scheduler, error) {
+	switch s {
+	case "wto":
+		return specabsint.WTO, nil
+	case "worklist":
+		return specabsint.Worklist, nil
+	}
+	return specabsint.WTO, fmt.Errorf("unknown scheduler %q (want wto or worklist)", s)
+}
+
+// parseExec resolves the -exec flag value.
+func parseExec(s string) (specabsint.Exec, error) {
+	switch s {
+	case "compiled":
+		return specabsint.Compiled, nil
+	case "interp":
+		return specabsint.Interp, nil
+	}
+	return specabsint.Compiled, fmt.Errorf("unknown exec engine %q (want compiled or interp)", s)
+}
+
+// parsePasses resolves the -passes flag value.
+func parsePasses(s string) (bool, error) {
+	switch s {
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("-passes must be on or off, got %q", s)
+}

@@ -41,6 +41,7 @@ func main() {
 		passesFlag = flag.String("passes", "on", "analysis-preserving pass pipeline (SCCP, copy propagation, branch resolution, DCE): on or off")
 		strategy   = flag.String("strategy", "jit", "merge strategy: jit, rollback, partition")
 		scheduler  = flag.String("scheduler", "wto", "fixpoint scheduler: wto or worklist (results are identical; effort differs)")
+		execFlag   = flag.String("exec", "compiled", "execution engine: compiled or interp (results are identical; speed differs)")
 		parallel   = flag.Int("parallel", 0, "cache-set fixpoint parallelism (0 = single dense fixpoint)")
 		timeout    = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
 		sim        = flag.Bool("sim", false, "also run the concrete speculative simulator")
@@ -84,34 +85,21 @@ func main() {
 	}
 	defer stopProfiles()
 
-	var strat specabsint.Strategy
-	switch *strategy {
-	case "jit":
-		strat = specabsint.JustInTime
-	case "rollback":
-		strat = specabsint.MergeAtRollback
-	case "partition":
-		strat = specabsint.PerRollbackBlock
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
 	}
-	var sched specabsint.Scheduler
-	switch *scheduler {
-	case "wto":
-		sched = specabsint.WTO
-	case "worklist":
-		sched = specabsint.Worklist
-	default:
-		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
+	sched, err := parseScheduler(*scheduler)
+	if err != nil {
+		fatal(err)
 	}
-	var runPasses bool
-	switch *passesFlag {
-	case "on":
-		runPasses = true
-	case "off":
-		runPasses = false
-	default:
-		fatal(fmt.Errorf("-passes must be on or off, got %q", *passesFlag))
+	exec, err := parseExec(*execFlag)
+	if err != nil {
+		fatal(err)
+	}
+	runPasses, err := parsePasses(*passesFlag)
+	if err != nil {
+		fatal(err)
 	}
 	opts := []specabsint.Option{
 		specabsint.WithCache(specabsint.CacheConfig{LineSize: *lineSize, NumSets: *sets, Assoc: *lines / *sets}),
@@ -119,6 +107,7 @@ func main() {
 		specabsint.WithSpeculation(!*nonspec),
 		specabsint.WithStrategy(strat),
 		specabsint.WithScheduler(sched),
+		specabsint.WithExec(exec),
 		specabsint.WithSetParallelism(*parallel),
 		specabsint.WithPasses(runPasses),
 		specabsint.WithStats(*statsMode != ""),

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+
+	"specabsint/internal/bytecode"
+	"specabsint/internal/core"
+)
+
+// The flag parsers reject unknown values instead of silently falling back to
+// a default: a typo in -scheduler or -exec must not quietly benchmark the
+// wrong configuration — and must fail for every -experiment value, not only
+// the ones that happen to read the flag.
+
+// parseScheduler resolves the -scheduler flag value.
+func parseScheduler(s string) (core.Scheduler, error) {
+	switch s {
+	case "wto":
+		return core.SchedulerWTO, nil
+	case "worklist":
+		return core.SchedulerWorklist, nil
+	}
+	return core.SchedulerWTO, fmt.Errorf("unknown -scheduler %q (want wto or worklist)", s)
+}
+
+// parseExec resolves the -exec flag value.
+func parseExec(s string) (bytecode.ExecMode, error) {
+	switch s {
+	case "compiled":
+		return bytecode.ExecCompiled, nil
+	case "interp":
+		return bytecode.ExecInterp, nil
+	}
+	return bytecode.ExecCompiled, fmt.Errorf("unknown -exec %q (want compiled or interp)", s)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"specabsint/internal/bytecode"
+	"specabsint/internal/core"
+)
+
+// TestFlagParsers checks the enum flags resolve their valid values and — the
+// regression this file exists for — report unknown values as errors instead
+// of silently benchmarking the default configuration.
+func TestFlagParsers(t *testing.T) {
+	if s, err := parseScheduler("worklist"); err != nil || s != core.SchedulerWorklist {
+		t.Errorf("parseScheduler(worklist) = %v, %v", s, err)
+	}
+	if s, err := parseScheduler("wto"); err != nil || s != core.SchedulerWTO {
+		t.Errorf("parseScheduler(wto) = %v, %v", s, err)
+	}
+	if m, err := parseExec("interp"); err != nil || m != bytecode.ExecInterp {
+		t.Errorf("parseExec(interp) = %v, %v", m, err)
+	}
+	if m, err := parseExec("compiled"); err != nil || m != bytecode.ExecCompiled {
+		t.Errorf("parseExec(compiled) = %v, %v", m, err)
+	}
+	for _, bad := range []string{"", "wt0", "legacy"} {
+		if _, err := parseScheduler(bad); err == nil {
+			t.Errorf("parseScheduler(%q) accepted", bad)
+		}
+	}
+	for _, bad := range []string{"", "bytecode", "tree"} {
+		if _, err := parseExec(bad); err == nil {
+			t.Errorf("parseExec(%q) accepted", bad)
+		}
+	}
+}

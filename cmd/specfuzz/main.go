@@ -2,9 +2,9 @@
 // MiniC programs (internal/gen), checks every oracle property on each
 // (internal/oracle) — must-hit/must-miss soundness against the concrete
 // speculative simulator, leak-detection completeness, the metamorphic window
-// and unroll relations, parallel equivalence, and (with -scheduler=both) the
-// worklist-vs-WTO scheduler cross-check — and shrinks any failing program to
-// a minimal reproducer.
+// and unroll relations, parallel equivalence, and (with -scheduler=both /
+// -exec=both) the worklist-vs-WTO scheduler and compiled-vs-interp engine
+// cross-checks — and shrinks any failing program to a minimal reproducer.
 //
 // Usage:
 //
@@ -43,6 +43,7 @@ func main() {
 		corpus   = flag.String("corpus", "", "write shrunk reproducers to this directory")
 		quick    = flag.Bool("quick", false, "use the cut-down oracle sweep (fewer configurations)")
 		sched    = flag.String("scheduler", "default", "scheduler sweep: default (WTO only) or both (cross-check worklist vs WTO)")
+		exec     = flag.String("exec", "default", "exec sweep: default (compiled only) or both (cross-check interp vs compiled, analysis and simulator)")
 		verbose  = flag.Bool("v", false, "log every program checked")
 	)
 	flag.Parse()
@@ -62,6 +63,14 @@ func main() {
 		cfg.CheckSchedulers = true
 	default:
 		fmt.Fprintf(os.Stderr, "specfuzz: unknown -scheduler %q (want default or both)\n", *sched)
+		os.Exit(2)
+	}
+	switch *exec {
+	case "default":
+	case "both":
+		cfg.CheckExec = true
+	default:
+		fmt.Fprintf(os.Stderr, "specfuzz: unknown -exec %q (want default or both)\n", *exec)
 		os.Exit(2)
 	}
 	cfg.Pool = runner.New(*workers)

@@ -1,0 +1,287 @@
+package specabsint
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/gen"
+	"specabsint/internal/machine"
+)
+
+// This file is the exec-equivalence harness: the bytecode-compiled engine is
+// a pure performance knob, so every externally observable result —
+// classifications, leaks, WCET, deterministic stats counters, synthesized
+// fence sets, and concrete simulator traces — must be byte-identical to the
+// tree-walking interpreter's on the whole corpus, at every parallelism
+// level, under both schedulers. Any lowering bug that lets the compiled form
+// drift from the tree walk fails here.
+
+// execReportText renders every externally observable verdict of a report
+// plus the full WCET estimate: the equivalence tests compare these strings
+// byte-for-byte.
+func execReportText(rep *Report) string {
+	return classificationText(rep) + fmt.Sprintf("wcet=%+v\n", rep.WCET)
+}
+
+// TestExecEquivalenceCorpus is the tentpole guarantee: on every corpus
+// kernel, classifications, leaks, and the WCET estimate under the compiled
+// engine are byte-identical to the interpreter's, at SetParallelism 0, 1, 4,
+// and NumCPU, under both schedulers, with the interpreted dense run as the
+// single reference per scheduler.
+func TestExecEquivalenceCorpus(t *testing.T) {
+	parallelisms := []int{0, 1, 4, runtime.NumCPU()}
+	if raceDetectorOn || testing.Short() {
+		parallelisms = []int{0, 2, runtime.NumCPU()}
+	}
+	for name, src := range equivCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			p, err := CompileOpts(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(e Exec, s Scheduler, par int) string {
+				t.Helper()
+				rep, err := AnalyzeContext(t.Context(), p,
+					WithExec(e), WithScheduler(s), WithSetParallelism(par))
+				if err != nil {
+					t.Fatalf("exec=%v scheduler=%v parallelism=%d: %v", e, s, par, err)
+				}
+				return execReportText(rep)
+			}
+			for _, s := range []Scheduler{WTO, Worklist} {
+				pars := parallelisms
+				if s == Worklist && slowWorklist[name] {
+					pars = parallelisms[:1] // dense run only, as in the scheduler suite
+				}
+				want := render(Interp, s, 0)
+				for _, par := range pars {
+					if got := render(Compiled, s, par); got != want {
+						t.Errorf("exec=compiled scheduler=%v parallelism=%d: results differ from interp/dense reference:\n got:\n%s\nwant:\n%s", s, par, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExecStatsEquivalence pins the deterministic stats contract across
+// engines: the fixpoint counters and the partition shape must be identical
+// between compiled and interpreted runs (the engines execute the same joins,
+// transfers, and spawns — only the dispatch differs), while the bytecode
+// section is the one legitimate difference: populated under the compiled
+// engine, all-zero under the interpreter. Full JSON documents are not
+// compared across engines for exactly that reason.
+func TestExecStatsEquivalence(t *testing.T) {
+	kernels := map[string]string{"fig2": bench.Fig2Program(-1)}
+	if !raceDetectorOn && !testing.Short() {
+		kernels["jcmarker"] = mustKernel(t, "jcmarker")
+	}
+	for name, src := range kernels {
+		t.Run(name, func(t *testing.T) {
+			statsFor := func(e Exec, par int) *Stats {
+				t.Helper()
+				opts := []Option{WithStats(true), WithExec(e), WithSetParallelism(par)}
+				p, err := CompileOpts(src, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := AnalyzeContext(t.Context(), p, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep.Stats.ZeroTimes()
+				return rep.Stats
+			}
+			for _, par := range []int{0, 4} {
+				comp, interp := statsFor(Compiled, par), statsFor(Interp, par)
+				if comp.Fixpoint != interp.Fixpoint {
+					t.Errorf("parallelism=%d: fixpoint counters differ:\ncompiled %+v\ninterp   %+v",
+						par, comp.Fixpoint, interp.Fixpoint)
+				}
+				if comp.Partition != interp.Partition {
+					t.Errorf("parallelism=%d: partition shape differs:\ncompiled %+v\ninterp   %+v",
+						par, comp.Partition, interp.Partition)
+				}
+				if comp.Bytecode == (BytecodeStats{}) {
+					t.Errorf("parallelism=%d: compiled run reported no bytecode shape", par)
+				}
+				if interp.Bytecode != (BytecodeStats{}) {
+					t.Errorf("parallelism=%d: interpreted run reported bytecode shape %+v", par, interp.Bytecode)
+				}
+			}
+		})
+	}
+}
+
+// TestExecMitigateEquivalence asserts the mitigation inner loop rides the
+// compiled engine transparently: on every leak-reporting corpus kernel, the
+// synthesized fence set (placements, residuals, WCET bounds) is identical
+// whichever engine drives the greedy search's re-analyses.
+func TestExecMitigateEquivalence(t *testing.T) {
+	for name, src := range equivCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			p, err := CompileOpts(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := AnalyzeContext(t.Context(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.LeakDetected && len(rep.SpectreGadgets) == 0 {
+				t.Skip("kernel reports no leaks; the synthesizer is a no-op")
+			}
+			render := func(e Exec) string {
+				t.Helper()
+				mrep, err := Mitigate(t.Context(), p, WithExec(e))
+				if err != nil {
+					t.Fatalf("exec=%v: %v", e, err)
+				}
+				return fmt.Sprintf("fences=%v residualLeaks=%d residualGadgets=%d wcet=%d->%d bounded=%v",
+					mrep.Fences, mrep.ResidualLeaks, mrep.ResidualGadgets,
+					mrep.BaselineWCET, mrep.MitigatedWCET, mrep.WCETBounded)
+			}
+			want := render(Interp)
+			if got := render(Compiled); got != want {
+				t.Errorf("fence sets differ between engines:\n got (compiled): %s\nwant (interp):   %s", got, want)
+			}
+		})
+	}
+}
+
+// TestExecOptionRoundTrip pins the public plumbing: the option reaches the
+// config, survives Config.Options(), and the zero value is the compiled
+// default.
+func TestExecOptionRoundTrip(t *testing.T) {
+	if got := newConfig(nil).Exec; got != Compiled {
+		t.Fatalf("default exec = %v, want %v", got, Compiled)
+	}
+	cfg := newConfig([]Option{WithExec(Interp)})
+	if cfg.Exec != Interp {
+		t.Fatalf("WithExec(Interp) -> %v", cfg.Exec)
+	}
+	round := newConfig(cfg.Options())
+	if round.Exec != Interp {
+		t.Fatalf("Config.Options() dropped the exec engine: %v", round.Exec)
+	}
+	if Compiled.String() != "compiled" || Interp.String() != "interp" {
+		t.Fatalf("exec names = %q/%q", Compiled.String(), Interp.String())
+	}
+}
+
+// TestExecSimulateEquivalence asserts the public Simulate entry point is
+// engine-invisible: the concrete counters (hits, misses, rollbacks, fences,
+// cycles) agree between the compiled machine and the interpreter on the
+// Fig. 2 replay, speculative and non-speculative, near and far secrets.
+func TestExecSimulateEquivalence(t *testing.T) {
+	for _, k := range []int{0, 64 * 300} {
+		for _, spec := range []bool{false, true} {
+			p, err := CompileOpts(bench.Fig2Program(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Speculative = spec
+			cfg.DepthMiss, cfg.DepthHit = 3, 3
+			cfg.Exec = Compiled
+			comp, err := Simulate(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Exec = Interp
+			interp, err := Simulate(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comp != interp {
+				t.Errorf("k=%d speculative=%v: stats diverge:\ncompiled %+v\ninterp   %+v", k, spec, comp, interp)
+			}
+		}
+	}
+}
+
+// FuzzExecEquiv is the native differential fuzz target for the compiled
+// engine: for every accepted program, the compiled and interpreted engines
+// must agree byte-for-byte on the analysis report, and the two simulator
+// cores must produce the identical forced-mispredict trace and counters
+// (SpecFences included). Seeds span the generator's distributions — plain,
+// secret-carrying, and fence-bearing programs — so the corpus exercises
+// fence truncation in both the lane walk and the speculation squash.
+func FuzzExecEquiv(f *testing.F) {
+	for i, gcfg := range []gen.Config{gen.Default(), gen.Secrets(), gen.Fenced(), gen.Sized(2)} {
+		for seed := int64(1); seed <= 3; seed++ {
+			f.Add(gen.Program(rand.New(rand.NewSource(seed+int64(i)*100)), gcfg))
+		}
+	}
+	f.Add("char ph[128];\nsecret int k;\nint main(int inp) {\nreg int t;\nif (inp == 0) {\nfence;\nt = ph[k & 127];\n}\nreturn t;\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		opts := []Option{
+			WithMaxUnroll(64),
+			WithDepths(8, 8),
+			WithCache(CacheConfig{LineSize: 32, NumSets: 2, Assoc: 2}),
+		}
+		p, err := CompileOpts(src, opts...)
+		if err != nil {
+			return // front-end rejections are FuzzParse's concern
+		}
+		compRep, err := AnalyzeContext(t.Context(), p, append(opts, WithExec(Compiled))...)
+		if err != nil {
+			return // totality is FuzzAnalyze's concern; equivalence needs two reports
+		}
+		interpRep, err := AnalyzeContext(t.Context(), p, append(opts, WithExec(Interp))...)
+		if err != nil {
+			t.Fatalf("interp engine failed where compiled succeeded: %v", err)
+		}
+		if got, want := execReportText(compRep), execReportText(interpRep); got != want {
+			t.Fatalf("engines disagree on the analysis report:\ncompiled:\n%s\ninterp:\n%s", got, want)
+		}
+
+		trace := func(e Exec) ([]machine.AccessRecord, machine.Stats, error) {
+			t.Helper()
+			cfg := machine.DefaultConfig()
+			cfg.Cache = CacheConfig{LineSize: 32, NumSets: 2, Assoc: 2}
+			cfg.DepthMiss, cfg.DepthHit = 8, 8
+			cfg.ForceMispredict = true
+			cfg.WrongPathOOB = true
+			cfg.MaxSteps = 1_000_000
+			cfg.Exec = e
+			sim, err := machine.New(p.Internal(), cfg)
+			if err != nil {
+				t.Fatalf("exec=%v: simulator: %v", e, err)
+			}
+			var recs []machine.AccessRecord
+			sim.OnAccess = func(r machine.AccessRecord) { recs = append(recs, r) }
+			if err := sim.Run(); err != nil {
+				return nil, machine.Stats{}, err
+			}
+			return recs, sim.Stats, nil
+		}
+		cRecs, cStats, cErr := trace(Compiled)
+		iRecs, iStats, iErr := trace(Interp)
+		// Runtime faults (division by zero, step budget) are legitimate, but
+		// the engines must fault identically or not at all.
+		if (cErr == nil) != (iErr == nil) || (cErr != nil && cErr.Error() != iErr.Error()) {
+			t.Fatalf("engines disagree on runtime failure:\ncompiled: %v\ninterp:   %v", cErr, iErr)
+		}
+		if cErr != nil {
+			return
+		}
+		if cStats != iStats {
+			t.Fatalf("simulator counters diverge:\ncompiled %+v\ninterp   %+v", cStats, iStats)
+		}
+		if len(cRecs) != len(iRecs) {
+			t.Fatalf("trace lengths diverge: compiled %d accesses, interp %d", len(cRecs), len(iRecs))
+		}
+		for i := range cRecs {
+			if cRecs[i] != iRecs[i] {
+				t.Fatalf("traces diverge at access %d: compiled %+v, interp %+v", i, cRecs[i], iRecs[i])
+			}
+		}
+	})
+}

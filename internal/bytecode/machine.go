@@ -1,0 +1,233 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"specabsint/internal/interp"
+	"specabsint/internal/ir"
+)
+
+// stepFn executes one specialized instruction against a state.
+type stepFn func(m *Machine, s *interp.State) error
+
+// Machine is the bytecode-compiled concrete executor: it runs interp.State
+// states with semantics identical to interp.Machine — same hook firing
+// points, same error values, same operand and fault rules — but each
+// instruction is pre-specialized into a closure at build time, so the step
+// loop performs one indirect call instead of a switch over ir.Op with
+// operand re-decoding.
+//
+// Hooks and ResolveOOB are read at execution time through the machine, so
+// the simulator can swap them per wrong-path excursion exactly as it does
+// with the interpreter.
+type Machine struct {
+	Prog       *ir.Program
+	Hooks      interp.Hooks
+	ResolveOOB func(sym ir.SymbolID, elem int64) (ir.SymbolID, int64, bool)
+
+	code [][]stepFn // indexed by block id, then instruction index
+}
+
+// NewMachine compiles prog into a closure-array executor.
+func NewMachine(prog *ir.Program) *Machine {
+	m := &Machine{Prog: prog}
+	m.code = make([][]stepFn, len(prog.Blocks))
+	for _, b := range prog.Blocks {
+		fns := make([]stepFn, len(b.Instrs))
+		for i := range b.Instrs {
+			fns[i] = compileInstr(&b.Instrs[i])
+		}
+		m.code[b.ID] = fns
+	}
+	return m
+}
+
+// SetHooks installs the execution observers (the stepper contract shared
+// with interp.Machine).
+func (m *Machine) SetHooks(h interp.Hooks) { m.Hooks = h }
+
+// SetResolveOOB installs the wrong-path out-of-bounds redirection.
+func (m *Machine) SetResolveOOB(f func(ir.SymbolID, int64) (ir.SymbolID, int64, bool)) {
+	m.ResolveOOB = f
+}
+
+// NewState builds the initial state exactly like interp.Machine.NewState.
+func (m *Machine) NewState() *interp.State {
+	return interp.NewMachine(m.Prog).NewState()
+}
+
+// CurrentInstr returns the instruction the state is about to execute, or nil
+// when the state is done.
+func (m *Machine) CurrentInstr(s *interp.State) *ir.Instr {
+	if s.Done {
+		return nil
+	}
+	b := m.Prog.Block(s.Block)
+	return &b.Instrs[s.IP]
+}
+
+// Step executes exactly one instruction, advancing the state.
+func (m *Machine) Step(s *interp.State) error {
+	if s.Done {
+		return fmt.Errorf("bytecode: step after completion")
+	}
+	fn := m.code[s.Block][s.IP]
+	s.Steps++
+	return fn(m, s)
+}
+
+// operand specializes an ir.Value read: a constant closes over its value, a
+// register reads the state's register file.
+func operand(v ir.Value) func(s *interp.State) int64 {
+	if v.IsConst {
+		c := v.Const
+		return func(*interp.State) int64 { return c }
+	}
+	r := v.Reg
+	return func(s *interp.State) int64 { return s.Regs[r] }
+}
+
+// compileInstr specializes one instruction into a step closure. Every case
+// mirrors interp.Machine.Step byte for byte: hook order (OnMem before the
+// memory effect, OnBranch before the jump), resolved-branch shortcutting,
+// and fault behaviour are unchanged.
+func compileInstr(in *ir.Instr) stepFn {
+	switch in.Op {
+	case ir.OpNop, ir.OpFence:
+		// A fence is architecturally a no-op; its speculation-killing effect
+		// lives in the speculative simulator and the abstract engine.
+		return func(_ *Machine, s *interp.State) error {
+			s.IP++
+			return nil
+		}
+	case ir.OpConst, ir.OpMov:
+		dst, a := in.Dst, operand(in.A)
+		return func(_ *Machine, s *interp.State) error {
+			s.Regs[dst] = a(s)
+			s.IP++
+			return nil
+		}
+	case ir.OpNeg:
+		dst, a := in.Dst, operand(in.A)
+		return func(_ *Machine, s *interp.State) error {
+			s.Regs[dst] = -a(s)
+			s.IP++
+			return nil
+		}
+	case ir.OpNot:
+		dst, a := in.Dst, operand(in.A)
+		return func(_ *Machine, s *interp.State) error {
+			s.Regs[dst] = ^a(s)
+			s.IP++
+			return nil
+		}
+	case ir.OpBool:
+		dst, a := in.Dst, operand(in.A)
+		return func(_ *Machine, s *interp.State) error {
+			if a(s) != 0 {
+				s.Regs[dst] = 1
+			} else {
+				s.Regs[dst] = 0
+			}
+			s.IP++
+			return nil
+		}
+	case ir.OpLoad:
+		instr, dst, idx := in, in.Dst, operand(in.Idx)
+		return func(m *Machine, s *interp.State) error {
+			symID, elem, err := m.resolveAccess(instr, idx(s))
+			if err != nil {
+				return err
+			}
+			if m.Hooks.OnMem != nil {
+				m.Hooks.OnMem(instr, symID, elem, false)
+			}
+			s.Regs[dst] = s.Mem[symID][elem]
+			s.IP++
+			return nil
+		}
+	case ir.OpStore:
+		instr, a, idx := in, operand(in.A), operand(in.Idx)
+		return func(m *Machine, s *interp.State) error {
+			symID, elem, err := m.resolveAccess(instr, idx(s))
+			if err != nil {
+				return err
+			}
+			if m.Hooks.OnMem != nil {
+				m.Hooks.OnMem(instr, symID, elem, true)
+			}
+			s.Mem[symID][elem] = a(s)
+			s.IP++
+			return nil
+		}
+	case ir.OpBr:
+		target := in.TrueTarget
+		return func(_ *Machine, s *interp.State) error {
+			s.Block = target
+			s.IP = 0
+			return nil
+		}
+	case ir.OpCondBr:
+		if in.Resolved {
+			// The emitted program has an unconditional jump here: the
+			// condition is not evaluated, the branch hook does not fire, and
+			// even wrong-path (speculative) execution follows the taken edge.
+			target := in.TakenTarget()
+			return func(_ *Machine, s *interp.State) error {
+				s.Block = target
+				s.IP = 0
+				return nil
+			}
+		}
+		instr, a := in, operand(in.A)
+		tt, ft := in.TrueTarget, in.FalseTarget
+		return func(m *Machine, s *interp.State) error {
+			taken := a(s) != 0
+			if m.Hooks.OnBranch != nil {
+				m.Hooks.OnBranch(instr, taken)
+			}
+			if taken {
+				s.Block = tt
+			} else {
+				s.Block = ft
+			}
+			s.IP = 0
+			return nil
+		}
+	case ir.OpRet:
+		a := operand(in.A)
+		return func(_ *Machine, s *interp.State) error {
+			s.Ret = a(s)
+			s.Done = true
+			return nil
+		}
+	default:
+		op, dst := in.Op, in.Dst
+		a, b := operand(in.A), operand(in.B)
+		return func(_ *Machine, s *interp.State) error {
+			v, err := interp.EvalBinop(op, a(s), b(s))
+			if err != nil {
+				return err
+			}
+			s.Regs[dst] = v
+			s.IP++
+			return nil
+		}
+	}
+}
+
+// resolveAccess bounds-checks an access, consulting ResolveOOB for
+// out-of-bounds element indices — interp.Machine.resolveAccess verbatim,
+// including the error text.
+func (m *Machine) resolveAccess(in *ir.Instr, elem int64) (ir.SymbolID, int64, error) {
+	sym := m.Prog.Symbol(in.Sym)
+	if elem >= 0 && elem < int64(sym.Len) {
+		return in.Sym, elem, nil
+	}
+	if m.ResolveOOB != nil {
+		if s2, e2, ok := m.ResolveOOB(in.Sym, elem); ok {
+			return s2, e2, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: access %s[%d] (len %d)", interp.ErrOutOfBounds, sym.Name, elem, sym.Len)
+}

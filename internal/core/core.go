@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime/pprof"
 
+	"specabsint/internal/bytecode"
 	"specabsint/internal/cache"
 	"specabsint/internal/cfg"
 	"specabsint/internal/interval"
@@ -122,6 +123,11 @@ type Options struct {
 	// Scheduler selects the fixpoint iteration order; the zero value is the
 	// WTO schedule. Classifications are identical under either scheduler.
 	Scheduler Scheduler
+	// Exec selects the execution engine for the transfer loops; the zero
+	// value is the bytecode-compiled form. Results are identical under
+	// either engine — the interpreted (tree-walking) form is the
+	// differential-testing reference.
+	Exec bytecode.ExecMode
 	// DisableUncertainty turns off uncertainty-focused speculation — the
 	// classic must/may warm-start pre-pass and the certain-branch lane-spawn
 	// skip — reverting to eager lane spawning. An ablation/benchmark knob
@@ -158,6 +164,7 @@ func DefaultOptions() Options {
 		RefinedJoin:          true,
 		WideningThreshold:    4,
 		Scheduler:            SchedulerWTO,
+		Exec:                 bytecode.ExecCompiled,
 	}
 }
 
@@ -299,9 +306,26 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (*Resul
 	}
 	g := cfg.New(prog)
 	idx := interval.Analyze(g)
+	access, accessSpec := dataAccessMaps(prog, l, idx)
+	// Lower the transfer loops once, up front: the dense engine, every
+	// per-set-group engine, and the depth group all share the compiled form
+	// (access steps are unfiltered; the domain's set filter applies inside
+	// Transfer/Classify as always).
+	var code *bytecode.Program
+	if opts.Exec == bytecode.ExecCompiled {
+		opts.Collector.Phase("compile_exec", func() {
+			code = bytecode.Compile(prog, access, accessSpec)
+		})
+		opts.Collector.SetBytecode(obs.BytecodeStats{
+			Blocks:       int64(len(code.Blocks)),
+			ArchSteps:    int64(code.ArchSteps),
+			SpecSteps:    int64(code.SpecSteps),
+			FencedBlocks: int64(code.FencedBlocks),
+		})
+	}
 	var res *Result
 	if opts.SetParallelism >= 1 {
-		r, handled, perr := analyzePartitioned(ctx, prog, g, l, idx, opts)
+		r, handled, perr := analyzePartitioned(ctx, prog, g, l, idx, opts, access, accessSpec, code)
 		if perr != nil {
 			return nil, perr
 		}
@@ -310,7 +334,7 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (*Resul
 		}
 	}
 	if res == nil {
-		e := newEngine(prog, g, l, idx, opts)
+		e := newEngineShared(prog, g, l, idx, opts, access, accessSpec, code)
 		var runErr error
 		pprof.Do(ctx, pprof.Labels("phase", "fixpoint", "engine", "dense"), func(ctx context.Context) {
 			runErr = e.run(ctx)

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 
+	"specabsint/internal/bytecode"
 	"specabsint/internal/cache"
 	"specabsint/internal/cfg"
 	"specabsint/internal/interval"
@@ -104,6 +105,13 @@ type engine struct {
 	// out-of-bounds indices reach adjacent memory instead of faulting
 	// (Spectre v1); used by the lanes.
 	accessSpec map[int]cache.Access
+	// code is the bytecode-compiled transfer program (ExecCompiled), nil
+	// under ExecInterp. When non-nil, transferBlock, laneWalk, classify, and
+	// depthForLive iterate its pre-resolved access steps instead of
+	// re-walking b.Instrs with an access-map lookup per instruction; the
+	// tree-walking loops remain the differential reference. Shared read-only
+	// across the per-set-group engines.
+	code *bytecode.Program
 
 	S  []*cache.State
 	SS []map[int]*cache.State
@@ -246,13 +254,19 @@ type engine struct {
 
 func newEngine(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options) *engine {
 	access, accessSpec := dataAccessMaps(prog, l, idx)
-	return newEngineShared(prog, g, l, idx, opts, access, accessSpec)
+	var code *bytecode.Program
+	if opts.Exec == bytecode.ExecCompiled {
+		code = bytecode.Compile(prog, access, accessSpec)
+	}
+	return newEngineShared(prog, g, l, idx, opts, access, accessSpec, code)
 }
 
-// newEngineShared builds an engine around precomputed access maps, so the
-// per-set-group engines of the partitioned analysis can share one resolution
-// pass (the maps are read-only from here on).
-func newEngineShared(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options, access, accessSpec map[int]cache.Access) *engine {
+// newEngineShared builds an engine around precomputed access maps and an
+// optionally precompiled transfer program, so the per-set-group engines of
+// the partitioned analysis can share one resolution pass and one compiled
+// form (both are read-only from here on). code must be nil exactly when
+// opts.Exec is ExecInterp.
+func newEngineShared(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options, access, accessSpec map[int]cache.Access, code *bytecode.Program) *engine {
 	n := len(prog.Blocks)
 	e := &engine{
 		prog:         prog,
@@ -263,6 +277,7 @@ func newEngineShared(prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *inte
 		opts:         opts,
 		access:       access,
 		accessSpec:   accessSpec,
+		code:         code,
 		pool:         cache.NewPool(l.NumBlocks),
 		S:            make([]*cache.State, n),
 		SS:           make([]map[int]*cache.State, n),
@@ -740,6 +755,17 @@ func dataAccessMaps(prog *ir.Program, l *layout.Layout, idx *interval.Result) (a
 func (e *engine) transferBlock(b *ir.Block, st *cache.State) *cache.State {
 	out := e.pool.Get()
 	out.CopyFrom(st)
+	if e.code != nil {
+		// Compiled form: the access sequence and its resolutions were
+		// precomputed, so the loop touches only memory instructions — same
+		// transfers, in the same order, as the tree walk below.
+		steps := e.code.Blocks[b.ID].Arch
+		for i := range steps {
+			e.dom.Transfer(out, steps[i].Acc)
+		}
+		e.stats.Transfers += int64(len(steps))
+		return out
+	}
 	for i := range b.Instrs {
 		if acc, ok := e.access[b.Instrs[i].ID]; ok {
 			e.dom.Transfer(out, acc)
@@ -1003,6 +1029,9 @@ func (e *engine) process(n ir.BlockID) {
 // Transfer is then a no-op, but the rollback join must still happen so the
 // per-set-group engines inject the same SS flows as the dense engine).
 func (e *engine) laneWalk(b *ir.Block, lv laneVal) (laneVal, *cache.State) {
+	if e.code != nil {
+		return e.laneWalkCompiled(&e.code.Blocks[b.ID], lv)
+	}
 	st := e.pool.Get()
 	st.CopyFrom(lv.st)
 	budget := lv.budget
@@ -1027,6 +1056,45 @@ func (e *engine) laneWalk(b *ir.Block, lv laneVal) (laneVal, *cache.State) {
 			e.dom.Transfer(st, acc)
 			e.stats.SpecTransfers++
 			e.dom.JoinInto(rollback, st)
+		}
+	}
+	return laneVal{st: st, budget: budget}, rollback
+}
+
+// laneWalkCompiled is laneWalk on the compiled form. The tree walk decrements
+// the budget once per instruction and breaks at the first fence; here that
+// arithmetic is positional. An entry budget B executes the spec step at
+// instruction index p iff B >= p+1 (the step list is already truncated at
+// the block's first fence), the fence is *hit* — FencesHit accounting — iff
+// B strictly exceeds its index (at B == FenceIdx the budget expires at the
+// fence without reaching execute, exactly the tree walk's order of checks),
+// and with a fence present the out-budget is always zero since the walk can
+// never cross it.
+func (e *engine) laneWalkCompiled(bc *bytecode.BlockCode, lv laneVal) (laneVal, *cache.State) {
+	st := e.pool.Get()
+	st.CopyFrom(lv.st)
+	budget := lv.budget
+	rollback := e.pool.Get()
+	rollback.SetBottom()
+	steps := bc.Spec
+	for i := range steps {
+		if budget <= steps[i].Pos {
+			break
+		}
+		e.dom.Transfer(st, steps[i].Acc)
+		e.stats.SpecTransfers++
+		e.dom.JoinInto(rollback, st)
+	}
+	switch {
+	case bc.FenceIdx >= 0 && budget > bc.FenceIdx:
+		budget = 0
+		e.stats.FencesHit++
+	case bc.FenceIdx >= 0:
+		budget = 0
+	default:
+		budget -= bc.NumInstrs
+		if budget < 0 {
+			budget = 0
 		}
 	}
 	return laneVal{st: st, budget: budget}, rollback
@@ -1140,6 +1208,16 @@ func (e *engine) depthForLive(block *ir.Block, src *cache.State) (int, bool) {
 	st := e.pool.Get()
 	st.CopyFrom(src)
 	defer e.pool.Put(st)
+	if e.code != nil {
+		steps := e.code.Blocks[block.ID].Arch
+		for i := range steps {
+			if sliceLoads[steps[i].In.ID] && e.dom.Classify(st, steps[i].Acc) != cache.AlwaysHit {
+				return e.opts.DepthMiss, false
+			}
+			e.dom.Transfer(st, steps[i].Acc)
+		}
+		return e.opts.DepthHit, true
+	}
 	for i := range block.Instrs {
 		in := &block.Instrs[i]
 		acc, ok := e.access[in.ID]
@@ -1272,6 +1350,28 @@ func (e *engine) classify(res *Result) {
 		}
 		for fi, f := range flows {
 			st.CopyFrom(f)
+			if e.code != nil {
+				// Compiled form: the same accesses in the same order; skipping
+				// a non-owned access entirely (as the tree walk does) equals
+				// transferring it, since a filtered Transfer is a no-op.
+				steps := e.code.Blocks[b.ID].Arch
+				for i := range steps {
+					acc := steps[i].Acc
+					if !e.dom.Owns(acc) {
+						continue
+					}
+					in := steps[i].In
+					cls := e.dom.Classify(st, acc)
+					if fi == 0 {
+						res.Access[in.ID] = AccessInfo{Instr: in, Block: b.ID, Acc: acc, Class: cls}
+					} else if prev := res.Access[in.ID]; prev.Class != cls {
+						prev.Class = cache.Unknown
+						res.Access[in.ID] = prev
+					}
+					e.dom.Transfer(st, acc)
+				}
+				continue
+			}
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
 				acc, ok := e.access[in.ID]
@@ -1295,6 +1395,30 @@ func (e *engine) classify(res *Result) {
 			}
 			st.CopyFrom(lv.st)
 			budget := lv.budget
+			if e.code != nil {
+				// Compiled lane walk, budget positional as in laneWalkCompiled;
+				// the spec step list is already fence-truncated, mirroring
+				// laneWalk's truncation without re-counting FencesHit.
+				steps := e.code.Blocks[b.ID].Spec
+				for i := range steps {
+					if budget <= steps[i].Pos {
+						break
+					}
+					acc := steps[i].Acc
+					if !e.dom.Owns(acc) {
+						continue
+					}
+					in := steps[i].In
+					cls := e.dom.Classify(st, acc)
+					if prev, seen := res.SpecAccess[in.ID]; !seen {
+						res.SpecAccess[in.ID] = cls
+					} else if prev != cls {
+						res.SpecAccess[in.ID] = cache.Unknown
+					}
+					e.dom.Transfer(st, acc)
+				}
+				continue
+			}
 			for i := range b.Instrs {
 				if budget == 0 {
 					break

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"specabsint/internal/bytecode"
 	"specabsint/internal/cache"
 	"specabsint/internal/cfg"
 	"specabsint/internal/interval"
@@ -51,6 +52,12 @@ func AnalyzeInstructionCacheContext(ctx context.Context, prog *ir.Program, opts 
 	}
 	e.access = fetch
 	e.accessSpec = fetch
+	if e.code != nil {
+		// The engine was compiled against the data-access maps; relower it
+		// against the fetch map so the compiled walks see the same accesses
+		// the tree-walking loops would.
+		e.code = bytecode.Compile(prog, fetch, fetch)
+	}
 	if err := e.run(ctx); err != nil {
 		return nil, err
 	}

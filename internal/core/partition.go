@@ -5,6 +5,7 @@ import (
 	"runtime/pprof"
 	"sort"
 
+	"specabsint/internal/bytecode"
 	"specabsint/internal/cache"
 	"specabsint/internal/cfg"
 	"specabsint/internal/interval"
@@ -163,8 +164,7 @@ func partitionSets(prog *ir.Program, l *layout.Layout, opts Options, access, acc
 // analyzePartitioned runs the per-set-group fixpoints and stitches one
 // Result. It reports handled=false when the partition is trivial (zero or
 // one group), in which case the caller should run the dense engine.
-func analyzePartitioned(ctx context.Context, prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options) (*Result, bool, error) {
-	access, accessSpec := dataAccessMaps(prog, l, idx)
+func analyzePartitioned(ctx context.Context, prog *ir.Program, g *cfg.Graph, l *layout.Layout, idx *interval.Result, opts Options, access, accessSpec map[int]cache.Access, code *bytecode.Program) (*Result, bool, error) {
 	part := partitionSets(prog, l, opts, access, accessSpec)
 	if len(part.groups) <= 1 {
 		return nil, false, nil
@@ -173,7 +173,7 @@ func analyzePartitioned(ctx context.Context, prog *ir.Program, g *cfg.Graph, l *
 	engines := make([]*engine, len(part.groups))
 	results := make([]*Result, len(part.groups))
 	newGroupEngine := func(i int) *engine {
-		ge := newEngineShared(prog, g, l, idx, opts, access, accessSpec)
+		ge := newEngineShared(prog, g, l, idx, opts, access, accessSpec, code)
 		ge.dom.Filter = cache.NewSetFilter(l.Config.NumSets, part.groups[i])
 		engines[i] = ge
 		return ge

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"specabsint/internal/bench"
+	"specabsint/internal/bytecode"
 	"specabsint/internal/core"
 	"specabsint/internal/ir"
 	"specabsint/internal/mitigate"
@@ -52,6 +53,10 @@ type BenchMeta struct {
 	// under ("wto" or "worklist"); the schedulers section below always
 	// measures both, so this only disambiguates Now/WithPasses.
 	Scheduler string `json:"scheduler,omitempty"`
+	// Exec is the execution engine the headline measurements ran under
+	// ("compiled" or "interp"); the exec section below always measures
+	// both, so this only disambiguates Now/WithPasses.
+	Exec string `json:"exec,omitempty"`
 	// PassConfig lists the enabled analysis-preserving passes of the
 	// measured pipeline configuration, in execution order.
 	PassConfig []string `json:"pass_config,omitempty"`
@@ -117,6 +122,9 @@ type FixpointReport struct {
 	// Schedulers compares the fixpoint schedulers on the branch-heavy
 	// corpus slice (see SchedulerSlice).
 	Schedulers *SchedulerComparison `json:"schedulers,omitempty"`
+	// Execs compares the bytecode-compiled engine against the tree-walking
+	// interpreter on the loop-carrying corpus slice (see ExecSlice).
+	Execs *ExecComparison `json:"execs,omitempty"`
 	// Mitigation sweeps the fence synthesizer over the corpus: one row per
 	// leak-reporting kernel, recording the synthesized fence count, the
 	// residual, and the WCET overhead the repair costs.
@@ -182,6 +190,41 @@ type SchedulerComparison struct {
 	GeomeanVsWorklist float64 `json:"geomean_vs_worklist"`
 }
 
+// ExecSlice is the loop-carrying corpus slice the exec comparison measures:
+// every corpus kernel whose simplified CFG retains loops after unrolling.
+// Loop blocks are transferred once per fixpoint iteration, so they are where
+// the compiled form's flat access-step replay (no per-instruction dispatch
+// on ir.Instr kinds) pays; acyclic kernels amortize the compile over a
+// single sweep and hover near break-even.
+var ExecSlice = []string{
+	"adpcm", "g72", "jcphuff", "layer3", "jdmarker", "gtk", "vga", "ocb",
+}
+
+// ExecKernelRow compares the execution engines on one kernel: the same
+// shipped two-phase engine, once walking the IR tree (interp) and once
+// replaying the bytecode-compiled access steps (compiled).
+type ExecKernelRow struct {
+	Kernel string `json:"kernel"`
+	// Interp and Compiled time the identical analysis under each engine.
+	Interp   FixpointSample `json:"interp"`
+	Compiled FixpointSample `json:"compiled"`
+	// SpeedupVsInterp is Interp ns/op over Compiled ns/op: what eliminating
+	// the per-instruction dispatch buys, semantics held fixed.
+	SpeedupVsInterp float64 `json:"speedup_vs_interp"`
+	// Identical asserts the two arms produced byte-identical
+	// classifications (the tentpole equivalence guarantee); a false here is
+	// an engine bug, not noise.
+	Identical bool `json:"identical"`
+}
+
+// ExecComparison is the execution-engine section of the fixpoint report.
+type ExecComparison struct {
+	Kernels []ExecKernelRow `json:"kernels"`
+	// GeomeanSpeedup is the geometric mean of the per-kernel
+	// SpeedupVsInterp figures — the headline compiled-engine claim.
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+}
+
 // MitigationKernelRow is the fence synthesizer's outcome on one
 // leak-reporting kernel.
 type MitigationKernelRow struct {
@@ -231,10 +274,11 @@ type ResolvedKernelDemo struct {
 
 // FixpointBench measures the full speculative fixpoint on the reference
 // medium kernel (g72, paper options) and returns the report. rounds <= 0
-// picks enough rounds for a stable median on a quiet machine. scheduler
-// drives the headline Now/WithPasses measurements; schedCompare adds the
-// three-arm scheduler section over the branch-heavy slice.
-func FixpointBench(rounds int, scheduler core.Scheduler, schedCompare bool) (*FixpointReport, error) {
+// picks enough rounds for a stable median on a quiet machine. scheduler and
+// exec drive the headline Now/WithPasses measurements; schedCompare adds the
+// three-arm scheduler section over the branch-heavy slice, execCompare the
+// compiled-vs-interp section over the loop-carrying slice.
+func FixpointBench(rounds int, scheduler core.Scheduler, exec bytecode.ExecMode, schedCompare, execCompare bool) (*FixpointReport, error) {
 	const kernel = "g72"
 	b, ok := bench.ByName(kernel)
 	if !ok {
@@ -256,6 +300,7 @@ func FixpointBench(rounds int, scheduler core.Scheduler, schedCompare bool) (*Fi
 	}
 	opts := core.DefaultOptions()
 	opts.Scheduler = scheduler
+	opts.Exec = exec
 
 	// Warm-up runs, also the source of the pool and iteration counters.
 	warm, err := core.Analyze(prog, opts)
@@ -297,6 +342,7 @@ func FixpointBench(rounds int, scheduler core.Scheduler, schedCompare bool) (*Fi
 		rep.PassesSpeedup = float64(rep.Now.NsPerOp) / float64(rep.WithPasses.NsPerOp)
 	}
 	rep.Meta.Scheduler = opts.Scheduler.String()
+	rep.Meta.Exec = opts.Exec.String()
 	rep.Meta.PassConfig = passNames(passes.Default())
 	demo, err := resolvedKernelDemo(opts, rounds)
 	if err != nil {
@@ -314,6 +360,13 @@ func FixpointBench(rounds int, scheduler core.Scheduler, schedCompare bool) (*Fi
 			return nil, err
 		}
 		rep.Schedulers = sched
+	}
+	if execCompare {
+		execs, err := execComparison(rounds)
+		if err != nil {
+			return nil, err
+		}
+		rep.Execs = execs
 	}
 	return rep, nil
 }
@@ -413,6 +466,61 @@ func schedulerComparison(rounds int) (*SchedulerComparison, error) {
 	if n := float64(len(cmp.Kernels)); n > 0 {
 		cmp.GeomeanSpeedup = math.Exp(logLegacy / n)
 		cmp.GeomeanVsWorklist = math.Exp(logWorklist / n)
+	}
+	return cmp, nil
+}
+
+// execComparison measures the execution engines over the loop-carrying
+// slice: the shipped engine once under the tree-walking interpreter and once
+// under the bytecode-compiled replay. The compiled arm's verdicts are checked
+// byte-identical against the interpreter's before timing anything — a
+// speedup with different answers would be meaningless.
+func execComparison(rounds int) (*ExecComparison, error) {
+	cmp := &ExecComparison{}
+	var logSpeedup float64
+	for _, name := range ExecSlice {
+		b, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("fixpoint: kernel %q not in corpus", name)
+		}
+		code := b.Code
+		if b.Kind == bench.SideChannel {
+			code = bench.WithClient(b, 4096)
+		}
+		prog, err := bench.Compile(code, 0)
+		if err != nil {
+			return nil, err
+		}
+		interpOpts := core.DefaultOptions()
+		interpOpts.Exec = bytecode.ExecInterp
+		compiledOpts := core.DefaultOptions()
+		compiledOpts.Exec = bytecode.ExecCompiled
+
+		compiledRes, err := core.Analyze(prog, compiledOpts)
+		if err != nil {
+			return nil, err
+		}
+		interpRes, err := core.Analyze(prog, interpOpts)
+		if err != nil {
+			return nil, err
+		}
+		row := ExecKernelRow{
+			Kernel:    name,
+			Identical: sameClassifications(compiledRes, interpRes),
+		}
+		arms, err := timeArms(prog, []core.Options{interpOpts, compiledOpts}, rounds)
+		if err != nil {
+			return nil, err
+		}
+		row.Interp, row.Compiled = arms[0], arms[1]
+		if row.Compiled.NsPerOp > 0 {
+			row.SpeedupVsInterp = float64(row.Interp.NsPerOp) / float64(row.Compiled.NsPerOp)
+			logSpeedup += math.Log(row.SpeedupVsInterp)
+		}
+		cmp.Kernels = append(cmp.Kernels, row)
+	}
+	if n := float64(len(cmp.Kernels)); n > 0 {
+		cmp.GeomeanSpeedup = math.Exp(logSpeedup / n)
 	}
 	return cmp, nil
 }

@@ -1,0 +1,175 @@
+package machine
+
+import (
+	"testing"
+
+	"specabsint/internal/bench"
+	"specabsint/internal/bytecode"
+	"specabsint/internal/ir"
+	"specabsint/internal/layout"
+)
+
+// These tests pin the simulator's engine contract: the bytecode-compiled
+// fetch/execute core must reproduce the tree-walking interpreter's traces
+// byte-for-byte — every access record in order, every counter including the
+// fence-squash count — under forced misprediction, wrong-path OOB reads,
+// secret-pair replays, and instruction-cache simulation. The interpreter is
+// the reference; any divergence is a lowering bug in the compiled machine.
+
+// tracePair runs the same program/config under both execution cores and
+// returns (compiled, interp) access traces and stats.
+func tracePair(t *testing.T, prog *ir.Program, cfg Config) (c, i []AccessRecord, cs, is Stats) {
+	t.Helper()
+	run := func(mode bytecode.ExecMode) ([]AccessRecord, Stats) {
+		t.Helper()
+		cfg := cfg
+		cfg.Exec = mode
+		cfg.Predictor = nil // fresh predictor per run; New defaults it
+		sim, err := New(prog, cfg)
+		if err != nil {
+			t.Fatalf("exec=%v: %v", mode, err)
+		}
+		var recs []AccessRecord
+		sim.OnAccess = func(r AccessRecord) { recs = append(recs, r) }
+		if err := sim.Run(); err != nil {
+			t.Fatalf("exec=%v: %v", mode, err)
+		}
+		return recs, sim.Stats
+	}
+	c, cs = run(bytecode.ExecCompiled)
+	i, is = run(bytecode.ExecInterp)
+	return c, i, cs, is
+}
+
+// requireSameTrace fails with the first divergence point.
+func requireSameTrace(t *testing.T, c, i []AccessRecord, cs, is Stats) {
+	t.Helper()
+	if cs != is {
+		t.Errorf("stats diverge:\ncompiled %+v\ninterp   %+v", cs, is)
+	}
+	if len(c) != len(i) {
+		t.Fatalf("trace lengths diverge: compiled %d accesses, interp %d", len(c), len(i))
+	}
+	for n := range c {
+		if c[n] != i[n] {
+			t.Fatalf("traces diverge at access %d: compiled %+v, interp %+v", n, c[n], i[n])
+		}
+	}
+}
+
+// TestExecTraceEquivalenceFig2 replays the paper's Fig. 2 program — the
+// source of the Fig. 3 golden traces — under both cores, near and far
+// secret, forced misprediction on. The root-package goldens pin the compiled
+// core's output; this pins that the interpreter produces the same bytes, so
+// the goldens transitively cover both.
+func TestExecTraceEquivalenceFig2(t *testing.T) {
+	for _, k := range []int{0, 64 * 300} {
+		prog := compile(t, bench.Fig2Program(k))
+		cfg := DefaultConfig()
+		cfg.ForceMispredict = true
+		c, i, cs, is := tracePair(t, prog, cfg)
+		requireSameTrace(t, c, i, cs, is)
+		if cs.Mispredicts == 0 || cs.SpecMisses == 0 {
+			t.Errorf("k=%d: replay is vacuous: %+v", k, cs)
+		}
+	}
+}
+
+// TestExecTraceEquivalenceSecretPairs drives a Spectre-v1 gadget across a
+// secret pair with wrong-path OOB reads enabled: the mis-speculated
+// then-branch reads pub[k] out of bounds and transmits through probe. The
+// cores must agree on the full speculative trace for each secret value.
+func TestExecTraceEquivalenceSecretPairs(t *testing.T) {
+	prog := compile(t, `
+char pub[16];
+char probe[256];
+secret int k;
+int main() {
+	reg int t;
+	reg int v;
+	t = 0;
+	if (k < 16) {
+		v = pub[k];
+		t = probe[v & 255];
+	}
+	return t;
+}
+`)
+	for _, secret := range []int64{40, 200} {
+		cfg := DefaultConfig()
+		cfg.ForceMispredict = true
+		cfg.WrongPathOOB = true
+		cfg.Inputs = map[string]int64{"k": secret}
+		c, i, cs, is := tracePair(t, prog, cfg)
+		requireSameTrace(t, c, i, cs, is)
+		spec := 0
+		for _, r := range c {
+			if r.Speculative {
+				spec++
+			}
+		}
+		if spec == 0 {
+			t.Errorf("secret=%d: no wrong-path accesses; the OOB replay is vacuous", secret)
+		}
+	}
+}
+
+// TestExecFenceSquashEquivalence puts a fence on the wrong path: both cores
+// must squash the speculation at the same instruction and count it in
+// SpecFences.
+func TestExecFenceSquashEquivalence(t *testing.T) {
+	prog := compile(t, `
+char pub[16];
+char probe[256];
+secret int k;
+int main() {
+	reg int t;
+	reg int v;
+	t = 0;
+	if (k < 16) {
+		fence;
+		v = pub[k & 15];
+		t = probe[v & 255];
+	}
+	return t;
+}
+`)
+	cfg := DefaultConfig()
+	cfg.ForceMispredict = true
+	cfg.Inputs = map[string]int64{"k": 200}
+	c, i, cs, is := tracePair(t, prog, cfg)
+	requireSameTrace(t, c, i, cs, is)
+	if cs.SpecFences == 0 {
+		t.Fatalf("wrong path never reached the fence: %+v", cs)
+	}
+}
+
+// TestExecICacheTraceEquivalence runs with an instruction cache simulated:
+// the compiled core must issue the identical fetch stream (architectural and
+// wrong-path) as the interpreter, not just the identical data accesses.
+func TestExecICacheTraceEquivalence(t *testing.T) {
+	prog := compile(t, bench.Fig2Program(64*3))
+	run := func(mode bytecode.ExecMode) ([]AccessRecord, Stats) {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.ForceMispredict = true
+		cfg.ICache = &layout.CacheConfig{LineSize: 64, NumSets: 4, Assoc: 2}
+		cfg.Exec = mode
+		sim, err := New(prog, cfg)
+		if err != nil {
+			t.Fatalf("exec=%v: %v", mode, err)
+		}
+		var fetches []AccessRecord
+		sim.OnFetch = func(r AccessRecord) { fetches = append(fetches, r) }
+		if err := sim.Run(); err != nil {
+			t.Fatalf("exec=%v: %v", mode, err)
+		}
+		return fetches, sim.Stats
+	}
+	c, cs := run(bytecode.ExecCompiled)
+	i, is := run(bytecode.ExecInterp)
+	requireSameTrace(t, c, i, cs, is)
+	if cs.IFetchHits+cs.IFetchMisses == 0 {
+		t.Fatalf("no instruction fetches recorded: %+v", cs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"specabsint/internal/bytecode"
 	"specabsint/internal/interp"
 	"specabsint/internal/ir"
 	"specabsint/internal/layout"
@@ -14,6 +15,10 @@ type Config struct {
 	Cache layout.CacheConfig
 	// Predictor chooses branch targets; nil defaults to NewTwoBit().
 	Predictor Predictor
+	// Exec selects the fetch/execute core: the zero value runs the
+	// bytecode-compiled machine, ExecInterp the tree-walking interpreter.
+	// Traces, stats, and hook firing are identical under both.
+	Exec bytecode.ExecMode
 	// DepthMiss / DepthHit bound the wrong-path window in instructions,
 	// depending on whether a load missed since the last branch (a proxy for
 	// "the condition is waiting on memory"). These mirror the analysis
@@ -123,8 +128,21 @@ type Simulator struct {
 	ICacheSim   *CacheSim
 	fetchBlocks []layout.BlockID
 
-	m           *interp.Machine
+	m           stepper
 	missedSince bool // a load missed since the last branch resolved
+}
+
+// stepper is the execution core contract the simulator drives: the
+// tree-walking interp.Machine or the bytecode-compiled bytecode.Machine.
+// Both operate on interp.State, fire the same hooks at the same points, and
+// return the same error values, so the simulator's speculation, squash, and
+// predictor logic is engine-agnostic.
+type stepper interface {
+	NewState() *interp.State
+	CurrentInstr(*interp.State) *ir.Instr
+	Step(*interp.State) error
+	SetHooks(interp.Hooks)
+	SetResolveOOB(func(ir.SymbolID, int64) (ir.SymbolID, int64, bool))
 }
 
 // New creates a simulator.
@@ -139,12 +157,18 @@ func New(prog *ir.Program, cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	var m stepper
+	if cfg.Exec == bytecode.ExecInterp {
+		m = interp.NewMachine(prog)
+	} else {
+		m = bytecode.NewMachine(prog)
+	}
 	sim := &Simulator{
 		Prog:   prog,
 		Layout: l,
 		Cfg:    cfg,
 		Cache:  NewCacheSim(cfg.Cache),
-		m:      interp.NewMachine(prog),
+		m:      m,
 	}
 	if cfg.ICache != nil {
 		_, blocks, err := layout.CodeLayout(prog, *cfg.ICache)
@@ -226,14 +250,21 @@ func (s *Simulator) Run() error {
 		st.Regs[r] = v
 	}
 
-	hooksFor := func(spec bool) interp.Hooks {
-		return interp.Hooks{
-			OnMem: func(in *ir.Instr, sym ir.SymbolID, elem int64, isStore bool) {
-				s.access(in, sym, elem, spec)
-			},
-		}
+	// One hook set per path kind, built once: the wrong-path excursion swaps
+	// them in speculate and Run swaps back, instead of allocating a closure
+	// pair per architectural instruction.
+	archHooks := interp.Hooks{
+		OnMem: func(in *ir.Instr, sym ir.SymbolID, elem int64, isStore bool) {
+			s.access(in, sym, elem, false)
+		},
+	}
+	specHooks := interp.Hooks{
+		OnMem: func(in *ir.Instr, sym ir.SymbolID, elem int64, isStore bool) {
+			s.access(in, sym, elem, true)
+		},
 	}
 
+	s.m.SetHooks(archHooks)
 	for !st.Done {
 		if st.Steps >= s.Cfg.MaxSteps {
 			return interp.ErrStepLimit
@@ -267,14 +298,14 @@ func (s *Simulator) Run() error {
 					depth = s.Cfg.DepthMiss
 				}
 				if depth > 0 {
-					s.speculate(st, in, predicted, depth, hooksFor(true))
+					s.speculate(st, in, predicted, depth, specHooks)
+					s.m.SetHooks(archHooks)
 					s.Stats.Rollbacks++
 				}
 			}
 			// The branch resolves; the next condition starts clean.
 			s.missedSince = false
 		}
-		s.m.Hooks = hooksFor(false)
 		s.Stats.Instructions++
 		s.Stats.Cycles += s.Cfg.BaseLatency
 		if err := s.m.Step(st); err != nil {
@@ -308,9 +339,9 @@ func (s *Simulator) speculate(st *interp.State, branch *ir.Instr, predicted bool
 		clone.Block = branch.FalseTarget
 	}
 	clone.IP = 0
-	s.m.Hooks = hooks
+	s.m.SetHooks(hooks)
 	if s.Cfg.WrongPathOOB {
-		s.m.ResolveOOB = func(sym ir.SymbolID, elem int64) (ir.SymbolID, int64, bool) {
+		s.m.SetResolveOOB(func(sym ir.SymbolID, elem int64) (ir.SymbolID, int64, bool) {
 			const lim = int64(1) << 40
 			if elem > lim || elem < -lim {
 				return 0, 0, false
@@ -320,8 +351,8 @@ func (s *Simulator) speculate(st *interp.State, branch *ir.Instr, predicted bool
 				return 0, 0, false
 			}
 			return s.Layout.AddrToElem(addr)
-		}
-		defer func() { s.m.ResolveOOB = nil }()
+		})
+		defer s.m.SetResolveOOB(nil)
 	}
 	for i := 0; i < depth && !clone.Done; i++ {
 		in := s.m.CurrentInstr(clone)

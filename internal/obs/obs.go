@@ -113,6 +113,17 @@ func (c *Collector) AddFixpoint(f FixpointStats) {
 	c.mu.Unlock()
 }
 
+// SetBytecode records the compiled execution form's shape (zero when the
+// interpreted engine ran).
+func (c *Collector) SetBytecode(b BytecodeStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Bytecode = b
+	c.mu.Unlock()
+}
+
 // SetPartition records the cache-set decomposition that ran.
 func (c *Collector) SetPartition(p PartitionStats) {
 	if c == nil {
@@ -139,6 +150,9 @@ func (c *Collector) Replay(s *Stats) {
 	c.stats.Fixpoint.Add(s.Fixpoint)
 	if s.Partition != (PartitionStats{}) {
 		c.stats.Partition = s.Partition
+	}
+	if s.Bytecode != (BytecodeStats{}) {
+		c.stats.Bytecode = s.Bytecode
 	}
 	c.stats.Phases = append(c.stats.Phases, s.Phases...)
 }

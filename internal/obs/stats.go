@@ -31,6 +31,9 @@ type Stats struct {
 	Fixpoint FixpointStats `json:"fixpoint"`
 	// Partition describes the per-cache-set decomposition that ran.
 	Partition PartitionStats `json:"partition"`
+	// Bytecode describes the compiled execution form's shape (all zero when
+	// the interpreted engine ran). Structural, hence deterministic.
+	Bytecode BytecodeStats `json:"bytecode"`
 	// Phases is the wall-clock breakdown, in execution order. The only
 	// nondeterministic section of the report.
 	Phases []PhaseStat `json:"phases,omitempty"`
@@ -167,6 +170,25 @@ type PartitionStats struct {
 	SetsAnalyzed int `json:"sets_analyzed"`
 }
 
+// BytecodeStats is the shape of the bytecode-compiled transfer program (PR
+// 10's execution lowering): how many pre-resolved access steps the fixpoint
+// loops iterate instead of re-walking ir.Instr. A pure function of the
+// lowered program and cache geometry — identical across runs, schedulers,
+// and parallelism — and all zero under the interpreted engine, which builds
+// no compiled form.
+type BytecodeStats struct {
+	// Blocks counts compiled basic blocks.
+	Blocks int64 `json:"blocks"`
+	// ArchSteps counts pre-resolved architectural access steps; SpecSteps
+	// the wrong-path steps (accesses reachable before the block's first
+	// fence, with OOB-extended resolutions).
+	ArchSteps int64 `json:"arch_steps"`
+	SpecSteps int64 `json:"spec_steps"`
+	// FencedBlocks counts blocks whose speculative step list was truncated
+	// by a fence.
+	FencedBlocks int64 `json:"fenced_blocks"`
+}
+
 // PhaseStat is one wall-clock phase sample.
 type PhaseStat struct {
 	Name string `json:"name"`
@@ -233,6 +255,12 @@ func (s *Stats) WriteText(w io.Writer) {
 	}
 	fmt.Fprintf(w, "depth 6.2: %d pruned to b_h, %d at b_m\n",
 		f.DepthHitBounds, f.DepthMissBounds)
+	if bc := s.Bytecode; bc.Blocks > 0 {
+		fmt.Fprintf(w, "exec:      compiled, %d blocks -> %d arch + %d spec access steps (%d fence-truncated)\n",
+			bc.Blocks, bc.ArchSteps, bc.SpecSteps, bc.FencedBlocks)
+	} else {
+		fmt.Fprintf(w, "exec:      interpreted\n")
+	}
 	if pt.Groups > 0 {
 		fmt.Fprintf(w, "partition: %d engines over %d set groups (%d sets analyzed, depth group %d)\n",
 			pt.Engines, pt.Groups, pt.SetsAnalyzed, pt.DepthGroup)

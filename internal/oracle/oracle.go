@@ -40,6 +40,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"specabsint/internal/bytecode"
 	"specabsint/internal/cache"
 	"specabsint/internal/core"
 	"specabsint/internal/ir"
@@ -79,6 +80,9 @@ const (
 	// SchedulerEquivalence: the fixpoint scheduler (WTO vs worklist) changed
 	// a classification.
 	SchedulerEquivalence Property = "scheduler-equivalence"
+	// ExecEquivalence: the execution engine (compiled vs interp) changed a
+	// classification or a concrete simulator trace.
+	ExecEquivalence Property = "exec-equivalence"
 	// Crash: an analysis or simulation failed outright (panic or error).
 	Crash Property = "crash"
 )
@@ -136,6 +140,14 @@ type Config struct {
 	// property is also covered by the top-level scheduler-equivalence suite;
 	// turn it on for fuzzing (specfuzz -scheduler=both) and corpus replay.
 	CheckSchedulers bool
+	// CheckExec additionally runs the analysis under the tree-walking
+	// interpreter — dense and set-partitioned — and asserts classifications
+	// are byte-identical to the default (compiled) engine's, then replays
+	// one forced-mispredict concrete simulation under both machine cores
+	// and asserts the traces and counters match exactly. Off by default:
+	// the property is also covered by the top-level exec-equivalence suite;
+	// turn it on for fuzzing (specfuzz -exec=both) and corpus replay.
+	CheckExec bool
 	// WindowPair is the (small, large) speculation-depth pair of the window
 	// monotonicity property.
 	WindowPair [2]int
@@ -299,6 +311,20 @@ func CheckContext(ctx context.Context, src string, cfg Config) (*Result, error) 
 			jobs = append(jobs, runner.Job{Name: fmt.Sprintf("sched-worklist-p%d", p), Prog: prog, Opts: opts, Mode: runner.ModeSideChannel})
 		}
 	}
+	execBase := len(jobs)
+	if cfg.CheckExec {
+		// The interp arms mirror the scheduler arms: the dense compiled job
+		// at parBase is the reference, compared against one dense and one
+		// set-partitioned interpreter run.
+		for _, p := range []int{0, 4} {
+			opts := c.baseOpts()
+			opts.Cache = layout.CacheConfig{LineSize: 64, NumSets: 4, Assoc: 2}
+			opts.DepthMiss, opts.DepthHit = 30, 30
+			opts.SetParallelism = p
+			opts.Exec = bytecode.ExecInterp
+			jobs = append(jobs, runner.Job{Name: fmt.Sprintf("exec-interp-p%d", p), Prog: prog, Opts: opts, Mode: runner.ModeSideChannel})
+		}
+	}
 	unrollBase := len(jobs)
 	if cfg.SmallUnroll > 0 {
 		// The unroll pair runs at speculation depth 0: with no wrong path,
@@ -337,9 +363,15 @@ func CheckContext(ctx context.Context, src string, cfg Config) (*Result, error) 
 		c.checkParallelEquivalence(results[parBase].Leaks.Analysis, results[parBase+1+i].Leaks.Analysis, jobs[parBase+1+i].Name)
 	}
 	if cfg.CheckSchedulers {
-		for i := schedBase; i < unrollBase; i++ {
+		for i := schedBase; i < execBase; i++ {
 			c.checkSchedulerEquivalence(results[parBase].Leaks.Analysis, results[i].Leaks.Analysis, jobs[i].Name)
 		}
+	}
+	if cfg.CheckExec {
+		for i := execBase; i < unrollBase; i++ {
+			c.checkExecEquivalence(results[parBase].Leaks.Analysis, results[i].Leaks.Analysis, jobs[i].Name)
+		}
+		c.checkExecTraces()
 	}
 	if cfg.SmallUnroll > 0 {
 		c.checkUnrollMonotone(results[unrollBase], results[unrollBase+1])

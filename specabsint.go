@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 
+	"specabsint/internal/bytecode"
 	"specabsint/internal/cache"
 	"specabsint/internal/core"
 	"specabsint/internal/ir"
@@ -76,6 +77,21 @@ const (
 	Worklist = core.SchedulerWorklist
 )
 
+// Exec selects the execution engine for the fixpoint transfer loops and the
+// concrete simulator core (see WithExec).
+type Exec = bytecode.ExecMode
+
+// Execution engines.
+const (
+	// Compiled runs the bytecode-compiled forms: per-block access steps for
+	// the fixpoint engine, specialized closures for the simulator. The
+	// default.
+	Compiled = bytecode.ExecCompiled
+	// Interp runs the original tree-walking loops over the IR — the
+	// differential-testing reference.
+	Interp = bytecode.ExecInterp
+)
+
 // Classification of one memory access.
 type Classification = cache.Classification
 
@@ -104,6 +120,7 @@ type (
 	PassStat       = obs.PassStat
 	FixpointStats  = obs.FixpointStats
 	PartitionStats = obs.PartitionStats
+	BytecodeStats  = obs.BytecodeStats
 	PhaseStat      = obs.PhaseStat
 )
 
@@ -152,6 +169,11 @@ type Config struct {
 	// iteration — so this is purely a performance knob; only the effort
 	// counters (iterations, joins, spawns) differ.
 	Scheduler Scheduler
+	// Exec selects the execution engine (default Compiled). Results are
+	// byte-identical under either engine — the compiled form replays the
+	// exact access/transfer sequence of the tree walk — so this is purely
+	// a performance knob; Interp is the differential-testing reference.
+	Exec Exec
 	// RefinedJoin enables the Appendix-B shadow-variable refinement.
 	RefinedJoin bool
 	// MaxUnroll caps full unrolling of constant-trip loops.
@@ -188,6 +210,7 @@ func DefaultConfig() Config {
 		DynamicDepthBounding: o.DynamicDepthBounding,
 		Strategy:             o.Strategy,
 		Scheduler:            o.Scheduler,
+		Exec:                 o.Exec,
 		RefinedJoin:          o.RefinedJoin,
 		MaxUnroll:            lower.DefaultOptions().MaxUnroll,
 		Passes:               true,
@@ -204,6 +227,7 @@ func (c Config) coreOptions() core.Options {
 	o.DynamicDepthBounding = c.DynamicDepthBounding
 	o.Strategy = c.Strategy
 	o.Scheduler = c.Scheduler
+	o.Exec = c.Exec
 	o.RefinedJoin = c.RefinedJoin
 	o.SetParallelism = c.SetParallelism
 	return o
@@ -430,6 +454,7 @@ func Simulate(p *CompiledProgram, cfg Config) (SimulationResult, error) {
 	mc.Cache = cfg.Cache
 	mc.DepthMiss = cfg.DepthMiss
 	mc.DepthHit = cfg.DepthHit
+	mc.Exec = cfg.Exec
 	mc.ForceMispredict = true
 	if !cfg.Speculative {
 		mc.DepthMiss, mc.DepthHit = 0, 0

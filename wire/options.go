@@ -30,6 +30,10 @@ type Options struct {
 	// (the same names specanalyze -scheduler accepts). Classifications are
 	// byte-identical under either; it is a performance knob.
 	Scheduler *string `json:"scheduler,omitempty"`
+	// Exec selects the execution engine: "compiled" or "interp" (the same
+	// names specanalyze -exec accepts). Results are byte-identical under
+	// either; it is a performance knob.
+	Exec *string `json:"exec,omitempty"`
 	// RefinedJoin toggles the Appendix-B shadow-variable refinement.
 	RefinedJoin *bool `json:"refined_join,omitempty"`
 	// MaxUnroll caps full unrolling of constant-trip loops at lowering time.
@@ -117,6 +121,35 @@ func schedulerFromString(s string) (specabsint.Scheduler, error) {
 		s, SchedulerWTO, SchedulerWorklist)
 }
 
+// Exec wire names.
+const (
+	ExecCompiled = "compiled"
+	ExecInterp   = "interp"
+)
+
+// execString renders an execution engine into its frozen wire name.
+func execString(m specabsint.Exec) (string, error) {
+	switch m {
+	case specabsint.Compiled:
+		return ExecCompiled, nil
+	case specabsint.Interp:
+		return ExecInterp, nil
+	}
+	return "", fmt.Errorf("wire: unknown exec engine %v", m)
+}
+
+// execFromString is the inverse of execString.
+func execFromString(s string) (specabsint.Exec, error) {
+	switch s {
+	case ExecCompiled:
+		return specabsint.Compiled, nil
+	case ExecInterp:
+		return specabsint.Interp, nil
+	}
+	return specabsint.Compiled, fmt.Errorf("wire: unknown exec engine %q (want %s or %s)",
+		s, ExecCompiled, ExecInterp)
+}
+
 // FromConfig renders a Config with every field populated, so the document
 // reconstructs the configuration exactly regardless of the receiver's
 // defaults.
@@ -126,6 +159,10 @@ func FromConfig(cfg specabsint.Config) (*Options, error) {
 		return nil, err
 	}
 	sched, err := schedulerString(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := execString(cfg.Exec)
 	if err != nil {
 		return nil, err
 	}
@@ -141,6 +178,7 @@ func FromConfig(cfg specabsint.Config) (*Options, error) {
 		DynamicDepthBounding: ptr(cfg.DynamicDepthBounding),
 		Strategy:             ptr(strat),
 		Scheduler:            ptr(sched),
+		Exec:                 ptr(exec),
 		RefinedJoin:          ptr(cfg.RefinedJoin),
 		MaxUnroll:            ptr(cfg.MaxUnroll),
 		Passes:               ptr(cfg.Passes),
@@ -197,6 +235,13 @@ func (o *Options) Config() (specabsint.Config, error) {
 			return cfg, err
 		}
 		cfg.Scheduler = sched
+	}
+	if o.Exec != nil {
+		exec, err := execFromString(*o.Exec)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Exec = exec
 	}
 	if o.RefinedJoin != nil {
 		cfg.RefinedJoin = *o.RefinedJoin

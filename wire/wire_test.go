@@ -170,6 +170,8 @@ func TestOptionsRoundTrip(t *testing.T) {
 		DepthHit:             7,
 		DynamicDepthBounding: false,
 		Strategy:             specabsint.PerRollbackBlock,
+		Scheduler:            specabsint.Worklist,
+		Exec:                 specabsint.Interp,
 		RefinedJoin:          true,
 		MaxUnroll:            9,
 		Passes:               true,
@@ -240,6 +242,10 @@ func TestOptionsDefaults(t *testing.T) {
 	bad := Options{Strategy: ptr("speculate-harder")}
 	if _, err := bad.Config(); err == nil {
 		t.Error("unknown strategy accepted")
+	}
+	badExec := Options{Exec: ptr("jit")}
+	if _, err := badExec.Config(); err == nil {
+		t.Error("unknown exec engine accepted")
 	}
 }
 
